@@ -1,0 +1,141 @@
+// Command sweep emits the evaluation data as CSV files for plotting:
+//
+//	sweep -out results/           # writes:
+//	  results/table2.csv          analytic Table 2 (paper values included)
+//	  results/figure4.csv         analytic Figure 4, all four series
+//	  results/des_accuracy.csv    executable-engine accuracy sweep
+//	  results/des_lob.csv         executable-engine LOB-depth sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"coemu"
+	"coemu/internal/perfmodel"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	writeTable2(filepath.Join(*out, "table2.csv"))
+	writeFigure4(filepath.Join(*out, "figure4.csv"))
+	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), *cycles)
+	writeDESLOB(filepath.Join(*out, "des_lob.csv"), *cycles)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func create(path string) *os.File {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+	return f
+}
+
+// paperTable2 maps accuracy to the published (perf, ratio).
+var paperTable2 = map[float64][2]float64{
+	1.000: {652e3, 16.75}, 0.990: {543e3, 13.97}, 0.960: {363e3, 9.33},
+	0.900: {226e3, 5.80}, 0.800: {138e3, 3.56}, 0.600: {76.7e3, 1.91},
+	0.300: {46.1e3, 1.19}, 0.100: {36.7e3, 0.94},
+}
+
+func writeTable2(path string) {
+	f := create(path)
+	defer f.Close()
+	fmt.Fprintln(f, "p,tsim,tacc,tstore,trestore,tch,perf,ratio,paper_perf,paper_ratio")
+	for _, r := range perfmodel.Table2() {
+		pp := paperTable2[r.P]
+		fmt.Fprintf(f, "%.3f,%.3e,%.3e,%.3e,%.3e,%.3e,%.1f,%.3f,%.1f,%.3f\n",
+			r.P, r.Tsim, r.Tacc, r.Tstore, r.Trestore, r.Tch, r.Perf, r.Ratio, pp[0], pp[1])
+	}
+}
+
+func writeFigure4(path string) {
+	f := create(path)
+	defer f.Close()
+	series := perfmodel.Figure4()
+	fmt.Fprint(f, "p")
+	for _, s := range series {
+		fmt.Fprintf(f, ",%q,%q_conventional", s.Config.Label(), s.Config.Label())
+	}
+	fmt.Fprintln(f)
+	for i, p := range perfmodel.Figure4Accuracies {
+		fmt.Fprintf(f, "%.3f", p)
+		for _, s := range series {
+			fmt.Fprintf(f, ",%.1f,%.1f", s.Rows[i].Perf, s.Conventional)
+		}
+		fmt.Fprintln(f)
+	}
+}
+
+func desDesign() coemu.Design {
+	return coemu.Design{
+		Masters: []coemu.MasterSpec{{
+			Name: "dma", Domain: coemu.AccDomain,
+			NewGen: func() coemu.Generator {
+				return coemu.NewStream(coemu.Window{Lo: 0, Hi: 0x40000}, true,
+					coemu.BurstIncr8, coemu.Size32, 0, 0, 0)
+			},
+		}},
+		Slaves: []coemu.SlaveSpec{{
+			Name: "mem", Domain: coemu.SimDomain,
+			Region: coemu.Region{Lo: 0, Hi: 0x80000},
+			New:    func() coemu.Slave { return coemu.NewSRAM("mem") },
+		}},
+	}
+}
+
+func writeDESAccuracy(path string, cycles int64) {
+	f := create(path)
+	defer f.Close()
+	d := desDesign()
+	conv, err := coemu.Run(d, coemu.Config{Mode: coemu.Conservative}, cycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(f, "p,perf,ratio,transitions,rollbacks,accesses,words")
+	for _, p := range []float64{1, 0.99, 0.96, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1} {
+		rep, err := coemu.Run(d, coemu.Config{
+			Mode: coemu.ALS, Accuracy: p, FaultSeed: 12345, RollbackVars: 1000,
+		}, cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "%.2f,%.1f,%.3f,%d,%d,%d,%d\n",
+			p, rep.Perf(), rep.Perf()/conv.Perf(),
+			rep.Stats.Transitions, rep.Stats.Rollbacks,
+			rep.Channel.TotalAccesses(), rep.Channel.TotalWords())
+	}
+}
+
+func writeDESLOB(path string, cycles int64) {
+	f := create(path)
+	defer f.Close()
+	d := desDesign()
+	conv, err := coemu.Run(d, coemu.Config{Mode: coemu.Conservative}, cycles)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(f, "lob_words,perf,ratio,mean_transition,accesses")
+	for _, lob := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
+		rep, err := coemu.Run(d, coemu.Config{Mode: coemu.ALS, LOBDepth: lob}, cycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(f, "%d,%.1f,%.3f,%.2f,%d\n",
+			lob, rep.Perf(), rep.Perf()/conv.Perf(),
+			rep.TransitionLengths.Mean(), rep.Channel.TotalAccesses())
+	}
+}

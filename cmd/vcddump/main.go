@@ -1,0 +1,99 @@
+// Command vcddump runs a small co-emulation scenario and writes both the
+// reference and co-emulated bus traces as VCD waveforms (plus CSV),
+// letting the cycle-exact equivalence be inspected in a waveform viewer.
+//
+//	vcddump -cycles 200 -mode auto -out trace
+//	# writes trace_ref.vcd, trace_coemu.vcd, trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coemu"
+)
+
+func main() {
+	cycles := flag.Int64("cycles", 200, "target cycles")
+	modeName := flag.String("mode", "auto", "conservative|sla|als|auto")
+	out := flag.String("out", "trace", "output file prefix")
+	flag.Parse()
+
+	mode, ok := map[string]coemu.Mode{
+		"conservative": coemu.Conservative,
+		"sla":          coemu.SLA,
+		"als":          coemu.ALS,
+		"auto":         coemu.Auto,
+	}[*modeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	design := coemu.Design{
+		Masters: []coemu.MasterSpec{{
+			Name: "dma", Domain: coemu.AccDomain,
+			NewGen: func() coemu.Generator {
+				return coemu.NewDMACopy(
+					coemu.Window{Lo: 0x0000, Hi: 0x1000},
+					coemu.Window{Lo: 0x8000, Hi: 0x9000},
+					coemu.BurstIncr8, 1, 0)
+			},
+		}},
+		Slaves: []coemu.SlaveSpec{
+			{
+				Name: "sram", Domain: coemu.SimDomain,
+				Region: coemu.Region{Lo: 0x0000, Hi: 0x4000},
+				New:    func() coemu.Slave { return coemu.NewSRAM("sram") },
+			},
+			{
+				Name: "ddr", Domain: coemu.AccDomain,
+				Region:    coemu.Region{Lo: 0x8000, Hi: 0xC000},
+				New:       func() coemu.Slave { return coemu.NewMemory("ddr", 1, 0) },
+				WaitFirst: 1, WaitNext: 0,
+			},
+		},
+	}
+
+	ref, err := coemu.RunReference(design, *cycles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := coemu.Run(design, coemu.Config{Mode: mode, KeepTrace: true}, *cycles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	diverged := -1
+	for i := range ref {
+		if !ref[i].Equal(rep.Trace[i]) {
+			diverged = i
+			break
+		}
+	}
+	if diverged >= 0 {
+		fmt.Printf("WARNING: traces diverge at cycle %d\n", diverged)
+	} else {
+		fmt.Printf("traces identical over %d cycles\n", len(ref))
+	}
+
+	write := func(name string, f func(*os.File) error) {
+		fh, err := os.Create(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		if err := f(fh); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", name)
+	}
+	write(*out+"_ref.vcd", func(f *os.File) error { return coemu.WriteVCD(f, "ahb_ref", ref, 10) })
+	write(*out+"_coemu.vcd", func(f *os.File) error { return coemu.WriteVCD(f, "ahb_coemu", rep.Trace, 10) })
+	write(*out+".csv", func(f *os.File) error { return coemu.WriteTraceCSV(f, rep.Trace) })
+}

@@ -1,0 +1,65 @@
+// dma-stream: the workload the paper's introduction motivates — an RTL
+// block under test in the accelerator produces a long data stream into
+// the transaction-level platform model. Sweeps the LOB depth to show its
+// effect on channel-access amortization (the paper's Figure 4 knob).
+//
+//	go run ./examples/dma-stream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coemu"
+)
+
+func design() coemu.Design {
+	return coemu.Design{
+		Masters: []coemu.MasterSpec{{
+			Name:   "video-dma",
+			Domain: coemu.AccDomain, // the RTL block being emulated
+			NewGen: func() coemu.Generator {
+				// A frame writer: INCR16 bursts, one idle cycle between
+				// bursts (descriptor fetch time).
+				return coemu.NewStream(
+					coemu.Window{Lo: 0, Hi: 0x100000},
+					true, coemu.BurstIncr16, coemu.Size32, 0, 1, 0)
+			},
+		}},
+		Slaves: []coemu.SlaveSpec{{
+			Name:      "framebuf",
+			Domain:    coemu.SimDomain, // TL platform memory
+			Region:    coemu.Region{Lo: 0, Hi: 0x200000},
+			New:       func() coemu.Slave { return coemu.NewMemory("framebuf", 1, 0) },
+			WaitFirst: 1, WaitNext: 0,
+		}},
+	}
+}
+
+func main() {
+	const cycles = 40000
+	d := design()
+
+	conv, err := coemu.Run(d, coemu.Config{Mode: coemu.Conservative}, cycles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional baseline: %.1f kcycles/s\n\n", conv.Perf()/1e3)
+
+	fmt.Println("LOB    perf       gain   accesses  mean-transition  flush-words/access")
+	for _, lob := range []int{8, 16, 32, 64, 128, 256, 512} {
+		rep, err := coemu.Run(d, coemu.Config{Mode: coemu.ALS, LOBDepth: lob}, cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := rep.Channel.TotalAccesses()
+		fmt.Printf("%4d  %8.1fk  %5.2fx  %8d  %15.1f  %18.1f\n",
+			lob, rep.Perf()/1e3, rep.Perf()/conv.Perf(), acc,
+			rep.TransitionLengths.Mean(),
+			float64(rep.Channel.TotalWords())/float64(acc))
+	}
+
+	fmt.Println("\nDeeper LOBs amortize the 12.2 µs channel startup across more")
+	fmt.Println("cycles per flush — the gain saturates once per-cycle domain time")
+	fmt.Println("dominates, exactly the Figure 4 behavior at high accuracy.")
+}

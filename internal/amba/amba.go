@@ -1,0 +1,213 @@
+// Package amba implements the subset of the AMBA AHB (Advanced
+// High-performance Bus) protocol needed to reproduce the DATE'05
+// prediction-packetizing co-emulation paper.
+//
+// The package provides:
+//
+//   - the AHB signal vocabulary (HTRANS, HBURST, HSIZE, HRESP encodings),
+//   - burst address arithmetic (the "predictable" address/control
+//     successor the paper's leader uses to run ahead),
+//   - the MSABS — minimal set of active bus signals — record exchanged
+//     between the two verification domains each target cycle,
+//   - a compact word-level wire encoding of partial MSABS records used by
+//     the channel packetizer, and
+//   - a streaming protocol checker that validates cycle traces against
+//     the AHB pipeline rules.
+//
+// Only statically-configured arbitration priority and address maps are
+// supported, mirroring the paper's assumption (footnote 4) that arbiter
+// and decoder outputs are deducible from request and address signals.
+package amba
+
+import "fmt"
+
+// Word is a 32-bit bus data word. The paper's channel cost constants are
+// quoted per 32-bit word over a 32-bit PCI bus, so the word size is fixed.
+type Word uint32
+
+// Addr is a 32-bit AHB address.
+type Addr uint32
+
+// Trans is the HTRANS transfer-type encoding.
+type Trans uint8
+
+// HTRANS encodings, per AMBA Specification rev 2.0.
+const (
+	// TransIdle indicates no transfer is required.
+	TransIdle Trans = 0
+	// TransBusy inserts an idle beat in the middle of a burst; the
+	// master retains ownership and the burst continues afterwards.
+	TransBusy Trans = 1
+	// TransNonSeq starts a single transfer or the first beat of a burst.
+	TransNonSeq Trans = 2
+	// TransSeq continues a burst; address is related to the previous
+	// beat by the burst's address successor.
+	TransSeq Trans = 3
+)
+
+// Active reports whether the transfer type carries a real beat (NONSEQ or
+// SEQ). IDLE and BUSY beats do not transfer data.
+func (t Trans) Active() bool { return t == TransNonSeq || t == TransSeq }
+
+// Valid reports whether t is one of the four defined HTRANS encodings.
+func (t Trans) Valid() bool { return t <= TransSeq }
+
+// String returns the AHB mnemonic.
+func (t Trans) String() string {
+	switch t {
+	case TransIdle:
+		return "IDLE"
+	case TransBusy:
+		return "BUSY"
+	case TransNonSeq:
+		return "NONSEQ"
+	case TransSeq:
+		return "SEQ"
+	default:
+		return fmt.Sprintf("Trans(%d)", uint8(t))
+	}
+}
+
+// Burst is the HBURST burst-type encoding.
+type Burst uint8
+
+// HBURST encodings, per AMBA Specification rev 2.0.
+const (
+	BurstSingle Burst = 0 // single transfer
+	BurstIncr   Burst = 1 // incrementing burst of unspecified length
+	BurstWrap4  Burst = 2 // 4-beat wrapping burst
+	BurstIncr4  Burst = 3 // 4-beat incrementing burst
+	BurstWrap8  Burst = 4 // 8-beat wrapping burst
+	BurstIncr8  Burst = 5 // 8-beat incrementing burst
+	BurstWrap16 Burst = 6 // 16-beat wrapping burst
+	BurstIncr16 Burst = 7 // 16-beat incrementing burst
+)
+
+// Beats returns the architected beat count of the burst, or 0 for
+// BurstIncr whose length is unspecified by the protocol.
+func (b Burst) Beats() int {
+	switch b {
+	case BurstSingle:
+		return 1
+	case BurstIncr:
+		return 0
+	case BurstWrap4, BurstIncr4:
+		return 4
+	case BurstWrap8, BurstIncr8:
+		return 8
+	case BurstWrap16, BurstIncr16:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// Wrapping reports whether the burst wraps at its natural boundary.
+func (b Burst) Wrapping() bool {
+	return b == BurstWrap4 || b == BurstWrap8 || b == BurstWrap16
+}
+
+// Valid reports whether b is a defined HBURST encoding.
+func (b Burst) Valid() bool { return b <= BurstIncr16 }
+
+// String returns the AHB mnemonic.
+func (b Burst) String() string {
+	switch b {
+	case BurstSingle:
+		return "SINGLE"
+	case BurstIncr:
+		return "INCR"
+	case BurstWrap4:
+		return "WRAP4"
+	case BurstIncr4:
+		return "INCR4"
+	case BurstWrap8:
+		return "WRAP8"
+	case BurstIncr8:
+		return "INCR8"
+	case BurstWrap16:
+		return "WRAP16"
+	case BurstIncr16:
+		return "INCR16"
+	default:
+		return fmt.Sprintf("Burst(%d)", uint8(b))
+	}
+}
+
+// Size is the HSIZE transfer-size encoding: the transfer moves 2^Size
+// bytes per beat.
+type Size uint8
+
+// HSIZE encodings. Sizes above Size32 are architecturally defined but a
+// 32-bit data bus can only carry up to Size32 per beat; the checker
+// rejects larger sizes.
+const (
+	Size8    Size = 0
+	Size16   Size = 1
+	Size32   Size = 2
+	Size64   Size = 3
+	Size128  Size = 4
+	Size256  Size = 5
+	Size512  Size = 6
+	Size1024 Size = 7
+)
+
+// Bytes returns the number of bytes moved per beat.
+func (s Size) Bytes() int { return 1 << s }
+
+// Valid reports whether s is a defined HSIZE encoding.
+func (s Size) Valid() bool { return s <= Size1024 }
+
+// FitsBus reports whether the size fits a 32-bit data bus.
+func (s Size) FitsBus() bool { return s <= Size32 }
+
+// String returns a human-readable size.
+func (s Size) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("Size(%d)", uint8(s))
+	}
+	return fmt.Sprintf("%dbit", 8*s.Bytes())
+}
+
+// Resp is the HRESP response encoding.
+type Resp uint8
+
+// HRESP encodings, per AMBA Specification rev 2.0.
+const (
+	RespOkay  Resp = 0
+	RespError Resp = 1
+	RespRetry Resp = 2
+	RespSplit Resp = 3
+)
+
+// Valid reports whether r is a defined HRESP encoding.
+func (r Resp) Valid() bool { return r <= RespSplit }
+
+// String returns the AHB mnemonic.
+func (r Resp) String() string {
+	switch r {
+	case RespOkay:
+		return "OKAY"
+	case RespError:
+		return "ERROR"
+	case RespRetry:
+		return "RETRY"
+	case RespSplit:
+		return "SPLIT"
+	default:
+		return fmt.Sprintf("Resp(%d)", uint8(r))
+	}
+}
+
+// Prot is the HPROT protection-control bitmask. It rides along in the
+// MSABS (the paper lists HPROT among the predictable control signals) but
+// carries no behavioral weight in this model.
+type Prot uint8
+
+// HPROT bit positions.
+const (
+	ProtData       Prot = 1 << 0 // data access (vs opcode fetch)
+	ProtPrivileged Prot = 1 << 1
+	ProtBufferable Prot = 1 << 2
+	ProtCacheable  Prot = 1 << 3
+)

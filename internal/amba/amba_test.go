@@ -1,0 +1,111 @@
+package amba
+
+import "testing"
+
+func TestTransEncoding(t *testing.T) {
+	cases := []struct {
+		t      Trans
+		str    string
+		active bool
+	}{
+		{TransIdle, "IDLE", false},
+		{TransBusy, "BUSY", false},
+		{TransNonSeq, "NONSEQ", true},
+		{TransSeq, "SEQ", true},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.str {
+			t.Errorf("Trans(%d).String() = %q, want %q", c.t, got, c.str)
+		}
+		if got := c.t.Active(); got != c.active {
+			t.Errorf("Trans(%d).Active() = %v, want %v", c.t, got, c.active)
+		}
+		if !c.t.Valid() {
+			t.Errorf("Trans(%d) should be valid", c.t)
+		}
+	}
+	if Trans(4).Valid() {
+		t.Error("Trans(4) should be invalid")
+	}
+}
+
+func TestBurstBeats(t *testing.T) {
+	cases := []struct {
+		b     Burst
+		beats int
+		wrap  bool
+	}{
+		{BurstSingle, 1, false},
+		{BurstIncr, 0, false},
+		{BurstWrap4, 4, true},
+		{BurstIncr4, 4, false},
+		{BurstWrap8, 8, true},
+		{BurstIncr8, 8, false},
+		{BurstWrap16, 16, true},
+		{BurstIncr16, 16, false},
+	}
+	for _, c := range cases {
+		if got := c.b.Beats(); got != c.beats {
+			t.Errorf("%s.Beats() = %d, want %d", c.b, got, c.beats)
+		}
+		if got := c.b.Wrapping(); got != c.wrap {
+			t.Errorf("%s.Wrapping() = %v, want %v", c.b, got, c.wrap)
+		}
+	}
+	if Burst(8).Valid() {
+		t.Error("Burst(8) should be invalid")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Size8.Bytes() != 1 || Size16.Bytes() != 2 || Size32.Bytes() != 4 {
+		t.Fatalf("size byte widths wrong: %d %d %d", Size8.Bytes(), Size16.Bytes(), Size32.Bytes())
+	}
+	if !Size32.FitsBus() {
+		t.Error("Size32 must fit a 32-bit bus")
+	}
+	if Size64.FitsBus() {
+		t.Error("Size64 must not fit a 32-bit bus")
+	}
+	if Size1024.Bytes() != 128 {
+		t.Errorf("Size1024.Bytes() = %d, want 128", Size1024.Bytes())
+	}
+}
+
+func TestRespString(t *testing.T) {
+	want := map[Resp]string{
+		RespOkay: "OKAY", RespError: "ERROR", RespRetry: "RETRY", RespSplit: "SPLIT",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Resp %d String = %q, want %q", r, r.String(), s)
+		}
+		if !r.Valid() {
+			t.Errorf("Resp %d should be valid", r)
+		}
+	}
+	if Resp(4).Valid() {
+		t.Error("Resp(4) should be invalid")
+	}
+}
+
+func TestOkayReady(t *testing.T) {
+	r := OkayReady()
+	if !r.Ready || r.Resp != RespOkay || r.RData != 0 {
+		t.Fatalf("OkayReady() = %+v", r)
+	}
+}
+
+func TestAddrPhaseIdleAndString(t *testing.T) {
+	var ap AddrPhase
+	if !ap.Idle() {
+		t.Error("zero AddrPhase must be idle")
+	}
+	ap = AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Write: true, Size: Size32, Burst: BurstIncr4}
+	if ap.Idle() {
+		t.Error("NONSEQ phase must not be idle")
+	}
+	if got := ap.String(); got == "" {
+		t.Error("String must be non-empty")
+	}
+}

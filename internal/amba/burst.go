@@ -1,0 +1,67 @@
+package amba
+
+// Burst address arithmetic.
+//
+// The paper's central predictability argument (§3) is that the address
+// and control signals of the active bus master "can be deduced from their
+// values at the start of a burst transfer ... as their values either
+// increase linearly over time or remain constant throughout a single
+// burst transaction". This file implements exactly that successor
+// function, shared by the real bus model, the pin-level masters, and the
+// leader-side address/control predictor.
+
+// WrapBoundaryBytes returns the size in bytes of the address window a
+// wrapping burst stays inside: beats × bytes-per-beat. For non-wrapping
+// bursts it returns 0.
+func WrapBoundaryBytes(b Burst, s Size) int {
+	if !b.Wrapping() {
+		return 0
+	}
+	return b.Beats() * s.Bytes()
+}
+
+// NextAddr returns the address of the beat following a beat at addr in a
+// burst of type b with transfer size s.
+//
+// Incrementing bursts (and INCR) advance by the beat size. Wrapping
+// bursts advance by the beat size but wrap around at the natural
+// boundary of beats×size bytes. SINGLE bursts have no successor; by
+// convention NextAddr returns the incremented address, which the checker
+// will reject if a SEQ beat ever follows a SINGLE.
+func NextAddr(addr Addr, s Size, b Burst) Addr {
+	step := Addr(s.Bytes())
+	next := addr + step
+	if !b.Wrapping() {
+		return next
+	}
+	boundary := Addr(WrapBoundaryBytes(b, s))
+	base := addr &^ (boundary - 1)
+	return base + (next-base)%boundary
+}
+
+// BurstAddrs returns the full address sequence of an architected-length
+// burst starting at start. For BurstIncr the protocol does not fix a
+// length, so n gives the number of beats to generate. For fixed-length
+// bursts n is ignored.
+func BurstAddrs(start Addr, s Size, b Burst, n int) []Addr {
+	beats := b.Beats()
+	if beats == 0 {
+		beats = n
+	}
+	if beats <= 0 {
+		return nil
+	}
+	out := make([]Addr, beats)
+	a := start
+	for i := 0; i < beats; i++ {
+		out[i] = a
+		a = NextAddr(a, s, b)
+	}
+	return out
+}
+
+// Aligned reports whether addr is aligned to the transfer size, an AHB
+// requirement for every beat.
+func Aligned(addr Addr, s Size) bool {
+	return addr%Addr(s.Bytes()) == 0
+}

@@ -1,0 +1,164 @@
+package amba
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNextAddrIncrementing(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		s    Size
+		b    Burst
+		want Addr
+	}{
+		{0x1000, Size32, BurstIncr, 0x1004},
+		{0x1000, Size16, BurstIncr4, 0x1002},
+		{0x1000, Size8, BurstIncr16, 0x1001},
+		{0xFFFC, Size32, BurstIncr, 0x10000},
+	}
+	for _, c := range cases {
+		if got := NextAddr(c.addr, c.s, c.b); got != c.want {
+			t.Errorf("NextAddr(%08x,%v,%v) = %08x, want %08x", uint32(c.addr), c.s, c.b, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestNextAddrWrap4(t *testing.T) {
+	// WRAP4 of 32-bit transfers wraps inside a 16-byte window.
+	seq := BurstAddrs(0x38, Size32, BurstWrap4, 0)
+	want := []Addr{0x38, 0x3c, 0x30, 0x34}
+	if len(seq) != len(want) {
+		t.Fatalf("got %d beats, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("beat %d: got %08x, want %08x", i, uint32(seq[i]), uint32(want[i]))
+		}
+	}
+}
+
+func TestNextAddrWrap8Halfword(t *testing.T) {
+	// WRAP8 of halfword transfers wraps inside a 16-byte window too.
+	seq := BurstAddrs(0x34, Size16, BurstWrap8, 0)
+	want := []Addr{0x34, 0x36, 0x38, 0x3a, 0x3c, 0x3e, 0x30, 0x32}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("beat %d: got %08x, want %08x", i, uint32(seq[i]), uint32(want[i]))
+		}
+	}
+}
+
+func TestBurstAddrsIncrLength(t *testing.T) {
+	seq := BurstAddrs(0x100, Size32, BurstIncr, 5)
+	if len(seq) != 5 {
+		t.Fatalf("INCR with n=5 gave %d beats", len(seq))
+	}
+	for i, a := range seq {
+		if want := Addr(0x100 + 4*i); a != want {
+			t.Errorf("beat %d: got %08x want %08x", i, uint32(a), uint32(want))
+		}
+	}
+	if got := BurstAddrs(0x100, Size32, BurstIncr, 0); got != nil {
+		t.Errorf("INCR with n=0 should be nil, got %v", got)
+	}
+}
+
+func TestWrapBoundaryBytes(t *testing.T) {
+	if got := WrapBoundaryBytes(BurstWrap4, Size32); got != 16 {
+		t.Errorf("WRAP4/32bit boundary = %d, want 16", got)
+	}
+	if got := WrapBoundaryBytes(BurstWrap16, Size8); got != 16 {
+		t.Errorf("WRAP16/8bit boundary = %d, want 16", got)
+	}
+	if got := WrapBoundaryBytes(BurstIncr8, Size32); got != 0 {
+		t.Errorf("INCR8 boundary = %d, want 0", got)
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Aligned(0x1002, Size16) {
+		t.Error("0x1002 is halfword aligned")
+	}
+	if Aligned(0x1002, Size32) {
+		t.Error("0x1002 is not word aligned")
+	}
+	if !Aligned(0x0, Size32) {
+		t.Error("0 is aligned to everything")
+	}
+}
+
+// Property: wrapping bursts never leave their wrap window, and all beats
+// of any burst remain aligned.
+func TestBurstPropertyWrapWindow(t *testing.T) {
+	f := func(start uint32, sizeRaw, burstRaw uint8) bool {
+		s := Size(sizeRaw % 3) // 8/16/32-bit only (bus width)
+		b := Burst(burstRaw % 8)
+		startAddr := Addr(start) &^ (Addr(s.Bytes()) - 1) // align
+		n := b.Beats()
+		if n == 0 {
+			n = 8
+		}
+		seq := BurstAddrs(startAddr, s, b, n)
+		if b.Wrapping() {
+			boundary := Addr(WrapBoundaryBytes(b, s))
+			base := startAddr &^ (boundary - 1)
+			for _, a := range seq {
+				if a < base || a >= base+boundary {
+					return false
+				}
+			}
+		}
+		for _, a := range seq {
+			if !Aligned(a, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within one wrap window, the wrap-burst address sequence
+// visits every beat slot exactly once (it is a permutation).
+func TestBurstPropertyWrapPermutation(t *testing.T) {
+	f := func(start uint32, which uint8) bool {
+		b := []Burst{BurstWrap4, BurstWrap8, BurstWrap16}[which%3]
+		s := Size32
+		startAddr := Addr(start) &^ 3
+		seq := BurstAddrs(startAddr, s, b, 0)
+		seen := map[Addr]bool{}
+		for _, a := range seq {
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return len(seen) == b.Beats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incrementing bursts increase strictly monotonically by the
+// beat size.
+func TestBurstPropertyIncrMonotone(t *testing.T) {
+	f := func(start uint32, sizeRaw uint8, n uint8) bool {
+		s := Size(sizeRaw % 3)
+		startAddr := Addr(start&0x0fffffff) &^ (Addr(s.Bytes()) - 1)
+		beats := int(n%32) + 2
+		seq := BurstAddrs(startAddr, s, BurstIncr, beats)
+		for i := 1; i < len(seq); i++ {
+			if seq[i] != seq[i-1]+Addr(s.Bytes()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

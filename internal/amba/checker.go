@@ -1,0 +1,241 @@
+package amba
+
+import "fmt"
+
+// Checker validates a stream of per-cycle MSABS records against the AHB
+// pipeline rules. It is attached to the monolithic reference bus in tests
+// and to the merged trace of the co-emulated system, so a protocol
+// violation introduced by the domain split (rather than by a component)
+// is caught at the cycle it happens.
+//
+// The zero value is a checker at bus reset. Checker is strictly
+// streaming: feed cycles in order via Check.
+type Checker struct {
+	cycle int64
+	init  bool
+	prev  CycleState
+
+	// burst progress of the current address-phase owner
+	burstActive bool
+	burstMaster int
+	burstBurst  Burst
+	burstSize   Size
+	burstWrite  bool
+	burstProt   Prot
+	nextAddr    Addr
+	remaining   int // beats left after the current one; -1 for INCR
+
+	// two-cycle response tracking
+	pendingResp Resp
+
+	// data-phase ownership tracking: which master's beat currently
+	// occupies the data phase (the one a RETRY/SPLIT/ERROR addresses).
+	dpOwner      int
+	dpOwnerValid bool
+}
+
+// ViolationError describes a protocol violation at a specific cycle.
+type ViolationError struct {
+	Cycle int64
+	Rule  string
+	Got   CycleState
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("amba: cycle %d: %s (state: %s)", e.Cycle, e.Rule, e.Got)
+}
+
+func (k *Checker) fail(rule string, cs CycleState) error {
+	return &ViolationError{Cycle: k.cycle, Rule: rule, Got: cs}
+}
+
+// Cycles returns how many cycles have been checked so far.
+func (k *Checker) Cycles() int64 { return k.cycle }
+
+// Check validates one cycle record and advances the checker's pipeline
+// model. It returns nil when the cycle is protocol-legal.
+func (k *Checker) Check(cs CycleState) error {
+	defer func() { k.cycle++ }()
+
+	if err := k.checkEncodings(cs); err != nil {
+		return err
+	}
+	if err := k.checkResponse(cs); err != nil {
+		return err
+	}
+	if k.init {
+		if err := k.checkSequencing(cs); err != nil {
+			return err
+		}
+	}
+	k.advance(cs)
+	return nil
+}
+
+func (k *Checker) checkEncodings(cs CycleState) error {
+	ap := cs.AP
+	if !ap.Trans.Valid() {
+		return k.fail("invalid HTRANS encoding", cs)
+	}
+	if !ap.Burst.Valid() {
+		return k.fail("invalid HBURST encoding", cs)
+	}
+	if !ap.Size.Valid() {
+		return k.fail("invalid HSIZE encoding", cs)
+	}
+	if !cs.Reply.Resp.Valid() {
+		return k.fail("invalid HRESP encoding", cs)
+	}
+	if ap.Trans.Active() {
+		if !ap.Size.FitsBus() {
+			return k.fail("HSIZE exceeds 32-bit data bus width", cs)
+		}
+		if !Aligned(ap.Addr, ap.Size) {
+			return k.fail("unaligned address for transfer size", cs)
+		}
+	}
+	if cs.Grant < 0 || cs.Grant >= MaxMasters {
+		return k.fail("grant index out of range", cs)
+	}
+	return nil
+}
+
+// checkResponse enforces the wait-state and two-cycle response rules:
+// OKAY may be stretched with HREADY low arbitrarily; ERROR, RETRY and
+// SPLIT must be signaled for exactly one cycle with HREADY low and then
+// one cycle with HREADY high.
+func (k *Checker) checkResponse(cs CycleState) error {
+	r := cs.Reply
+	if k.pendingResp != RespOkay {
+		// Second cycle of a two-cycle response.
+		if !r.Ready || r.Resp != k.pendingResp {
+			return k.fail(fmt.Sprintf("second cycle of %s response must be ready with same response", k.pendingResp), cs)
+		}
+		return nil
+	}
+	if r.Resp != RespOkay && r.Ready {
+		return k.fail(fmt.Sprintf("%s response must start with HREADY low", r.Resp), cs)
+	}
+	return nil
+}
+
+func (k *Checker) checkSequencing(cs CycleState) error {
+	prev := k.prev
+	ap := cs.AP
+
+	// During wait states the master must hold the address phase stable.
+	// Exception: the first cycle of RETRY/SPLIT/ERROR (ready low, resp
+	// not OKAY) requires the master whose beat received the response —
+	// the data-phase owner — to change its address phase to IDLE. A
+	// *different* master holding the address phase (possible after a
+	// grant handover) follows the ordinary hold rule instead.
+	if !prev.Reply.Ready {
+		twoCycle := prev.Reply.Resp != RespOkay
+		ownerIsRetried := k.dpOwnerValid && k.dpOwner == cs.Grant
+		if twoCycle && ownerIsRetried {
+			if ap.Trans != TransIdle && cs.Grant == prev.Grant {
+				return k.fail(fmt.Sprintf("master must drive IDLE after first cycle of %s", prev.Reply.Resp), cs)
+			}
+		} else if cs.Grant == prev.Grant && ap != prev.AP {
+			return k.fail("address phase changed during wait state", cs)
+		}
+		return nil
+	}
+
+	switch ap.Trans {
+	case TransSeq:
+		if !k.burstActive {
+			return k.fail("SEQ without an active burst", cs)
+		}
+		if cs.Grant != k.burstMaster {
+			return k.fail("SEQ from a master that does not own the burst", cs)
+		}
+		if k.remaining == 0 {
+			return k.fail("SEQ beyond the architected burst length", cs)
+		}
+		if ap.Addr != k.nextAddr {
+			return k.fail(fmt.Sprintf("SEQ address %08x, burst successor requires %08x", uint32(ap.Addr), uint32(k.nextAddr)), cs)
+		}
+		if ap.Burst != k.burstBurst || ap.Size != k.burstSize || ap.Write != k.burstWrite || ap.Prot != k.burstProt {
+			return k.fail("control signals changed mid-burst", cs)
+		}
+	case TransBusy:
+		if !k.burstActive || cs.Grant != k.burstMaster {
+			return k.fail("BUSY without an active burst", cs)
+		}
+		if k.remaining == 0 {
+			return k.fail("BUSY after the final beat of a fixed-length burst", cs)
+		}
+	case TransNonSeq:
+		if ap.Burst == BurstSingle || ap.Burst == BurstIncr {
+			break
+		}
+		// A NONSEQ may legally cut a fixed burst short only when the
+		// master lost the bus or the previous burst finished; the same
+		// master restarting mid-burst is a violation.
+		if k.burstActive && cs.Grant == k.burstMaster && k.remaining > 0 && prev.AP.Trans != TransIdle {
+			return k.fail("NONSEQ restarted a fixed-length burst in progress", cs)
+		}
+	}
+	return nil
+}
+
+// advance moves the pipeline model forward after a legal cycle.
+func (k *Checker) advance(cs CycleState) {
+	// Two-cycle response tracking.
+	if cs.Reply.Resp != RespOkay && !cs.Reply.Ready {
+		k.pendingResp = cs.Reply.Resp
+	} else {
+		k.pendingResp = RespOkay
+	}
+
+	if cs.Reply.Ready {
+		ap := cs.AP
+		// Data-phase handover: an accepted active beat enters the data
+		// phase owned by the current grant holder; otherwise the data
+		// phase empties.
+		if ap.Trans.Active() {
+			k.dpOwner = cs.Grant
+			k.dpOwnerValid = true
+		} else {
+			k.dpOwnerValid = false
+		}
+		switch {
+		case ap.Trans == TransNonSeq:
+			k.burstActive = true
+			k.burstMaster = cs.Grant
+			k.burstBurst = ap.Burst
+			k.burstSize = ap.Size
+			k.burstWrite = ap.Write
+			k.burstProt = ap.Prot
+			k.nextAddr = NextAddr(ap.Addr, ap.Size, ap.Burst)
+			if beats := ap.Burst.Beats(); beats > 0 {
+				k.remaining = beats - 1
+			} else {
+				k.remaining = -1 // INCR: unbounded
+			}
+			if ap.Burst == BurstSingle {
+				k.burstActive = false
+			}
+		case ap.Trans == TransSeq:
+			k.nextAddr = NextAddr(ap.Addr, ap.Size, ap.Burst)
+			if k.remaining > 0 {
+				k.remaining--
+			}
+			// Keep the burst tracked at remaining==0 so that an illegal
+			// extra SEQ is reported as over-length rather than orphaned.
+		case ap.Trans == TransIdle:
+			k.burstActive = false
+		case ap.Trans == TransBusy:
+			// burst paused; nothing advances
+		}
+		// Losing the bus terminates the burst tracking for the old owner.
+		if k.burstActive && cs.Grant != k.burstMaster {
+			k.burstActive = false
+		}
+	}
+
+	k.prev = cs
+	k.init = true
+}

@@ -1,0 +1,235 @@
+package amba
+
+import (
+	"strings"
+	"testing"
+)
+
+func okCycle(ap AddrPhase) CycleState {
+	return CycleState{AP: ap, Reply: OkayReady()}
+}
+
+func feed(t *testing.T, k *Checker, cs ...CycleState) error {
+	t.Helper()
+	for i, c := range cs {
+		if err := k.Check(c); err != nil {
+			_ = i
+			return err
+		}
+	}
+	return nil
+}
+
+func TestCheckerAcceptsIncr4Burst(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Write: true, Size: Size32, Burst: BurstIncr4}
+	cycles := []CycleState{okCycle(AddrPhase{})}
+	a := ap
+	for i := 0; i < 4; i++ {
+		cycles = append(cycles, okCycle(a))
+		a.Addr = NextAddr(a.Addr, a.Size, a.Burst)
+		a.Trans = TransSeq
+	}
+	cycles = append(cycles, okCycle(AddrPhase{}))
+	if err := feed(t, &k, cycles...); err != nil {
+		t.Fatalf("legal burst rejected: %v", err)
+	}
+}
+
+func TestCheckerRejectsBadSeqAddress(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Size: Size32, Burst: BurstIncr4}
+	bad := AddrPhase{Addr: 0x1010, Trans: TransSeq, Size: Size32, Burst: BurstIncr4}
+	err := feed(t, &k, okCycle(ap), okCycle(bad))
+	if err == nil || !strings.Contains(err.Error(), "SEQ address") {
+		t.Fatalf("want SEQ address violation, got %v", err)
+	}
+}
+
+func TestCheckerRejectsSeqWithoutBurst(t *testing.T) {
+	var k Checker
+	err := feed(t, &k,
+		okCycle(AddrPhase{}),
+		okCycle(AddrPhase{Addr: 0x10, Trans: TransSeq, Size: Size32, Burst: BurstIncr4}))
+	if err == nil || !strings.Contains(err.Error(), "SEQ without") {
+		t.Fatalf("want SEQ-without-burst violation, got %v", err)
+	}
+}
+
+func TestCheckerRejectsControlChangeMidBurst(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Size: Size32, Burst: BurstIncr4}
+	next := AddrPhase{Addr: 0x1004, Trans: TransSeq, Size: Size32, Burst: BurstIncr4, Write: true}
+	err := feed(t, &k, okCycle(ap), okCycle(next))
+	if err == nil || !strings.Contains(err.Error(), "control signals changed") {
+		t.Fatalf("want mid-burst control violation, got %v", err)
+	}
+}
+
+func TestCheckerRejectsSeqBeyondBurstLength(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Size: Size32, Burst: BurstIncr4}
+	cycles := []CycleState{okCycle(ap)}
+	a := ap
+	for i := 0; i < 4; i++ {
+		a.Addr = NextAddr(a.Addr, a.Size, a.Burst)
+		a.Trans = TransSeq
+		cycles = append(cycles, okCycle(a))
+	}
+	err := feed(t, &k, cycles...)
+	if err == nil || !strings.Contains(err.Error(), "beyond the architected") {
+		t.Fatalf("want over-length violation, got %v", err)
+	}
+}
+
+func TestCheckerWaitStateHold(t *testing.T) {
+	ap := AddrPhase{Addr: 0x2000, Trans: TransNonSeq, Size: Size32, Burst: BurstSingle}
+	wait := CycleState{AP: ap, Reply: SlaveReply{Ready: false, Resp: RespOkay}}
+
+	var k Checker
+	// Holding the phase through the wait state is legal.
+	if err := feed(t, &k, wait, okCycle(ap)); err != nil {
+		t.Fatalf("held wait state rejected: %v", err)
+	}
+
+	var k2 Checker
+	moved := ap
+	moved.Addr = 0x3000
+	err := feed(t, &k2, wait, okCycle(moved))
+	if err == nil || !strings.Contains(err.Error(), "changed during wait state") {
+		t.Fatalf("want wait-state hold violation, got %v", err)
+	}
+}
+
+func TestCheckerTwoCycleError(t *testing.T) {
+	ap := AddrPhase{Addr: 0x2000, Trans: TransNonSeq, Size: Size32, Burst: BurstSingle}
+	first := CycleState{AP: ap, Reply: SlaveReply{Ready: false, Resp: RespError}}
+	second := CycleState{AP: AddrPhase{}, Reply: SlaveReply{Ready: true, Resp: RespError}}
+
+	var k Checker
+	if err := feed(t, &k, okCycle(ap), first, second, okCycle(AddrPhase{})); err != nil {
+		t.Fatalf("legal two-cycle ERROR rejected: %v", err)
+	}
+
+	// Single-cycle ERROR with ready high is illegal.
+	var k2 Checker
+	bad := CycleState{AP: ap, Reply: SlaveReply{Ready: true, Resp: RespError}}
+	if err := feed(t, &k2, bad); err == nil {
+		t.Fatal("single-cycle ERROR accepted")
+	}
+
+	// Second cycle must repeat the response.
+	var k3 Checker
+	wrongSecond := CycleState{AP: AddrPhase{}, Reply: OkayReady()}
+	if err := feed(t, &k3, okCycle(ap), first, wrongSecond); err == nil {
+		t.Fatal("ERROR second cycle with OKAY accepted")
+	}
+}
+
+func TestCheckerRetryForcesIdle(t *testing.T) {
+	ap := AddrPhase{Addr: 0x2000, Trans: TransNonSeq, Size: Size32, Burst: BurstIncr4}
+	seq := ap
+	seq.Trans = TransSeq
+	seq.Addr = 0x2004
+	// Beat 0 accepted; during beat 0's data phase the slave signals
+	// RETRY while the master is already presenting beat 1 (SEQ).
+	first := CycleState{AP: seq, Reply: SlaveReply{Ready: false, Resp: RespRetry}}
+	// Master ignores the RETRY and keeps driving the beat: violation.
+	keep := CycleState{AP: seq, Reply: SlaveReply{Ready: true, Resp: RespRetry}}
+	var k Checker
+	err := feed(t, &k, okCycle(ap), first, keep)
+	if err == nil || !strings.Contains(err.Error(), "must drive IDLE") {
+		t.Fatalf("want IDLE-after-RETRY violation, got %v", err)
+	}
+}
+
+func TestCheckerRejectsUnaligned(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1002, Trans: TransNonSeq, Size: Size32, Burst: BurstSingle}
+	if err := feed(t, &k, okCycle(ap)); err == nil {
+		t.Fatal("unaligned transfer accepted")
+	}
+}
+
+func TestCheckerRejectsWideTransfers(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Size: Size64, Burst: BurstSingle}
+	if err := feed(t, &k, okCycle(ap)); err == nil {
+		t.Fatal("64-bit transfer on 32-bit bus accepted")
+	}
+}
+
+func TestCheckerBusyMidBurst(t *testing.T) {
+	ap := AddrPhase{Addr: 0x1000, Trans: TransNonSeq, Size: Size32, Burst: BurstIncr4}
+	busy := ap
+	busy.Trans = TransBusy
+	busy.Addr = 0x1004
+	seq := ap
+	seq.Trans = TransSeq
+	seq.Addr = 0x1004
+	var k Checker
+	if err := feed(t, &k, okCycle(ap), okCycle(busy), okCycle(seq)); err != nil {
+		t.Fatalf("BUSY mid-burst rejected: %v", err)
+	}
+
+	// BUSY with no burst in progress is illegal.
+	var k2 Checker
+	if err := feed(t, &k2, okCycle(AddrPhase{}), okCycle(busy)); err == nil {
+		t.Fatal("BUSY without burst accepted")
+	}
+}
+
+func TestCheckerRetryWithGrantHandover(t *testing.T) {
+	// Master 0's beat is accepted and enters the data phase while the
+	// grant moves to master 1, which presents its own NONSEQ. Master
+	// 0's beat then receives a two-cycle RETRY. Master 1 — not the
+	// retried master — must HOLD its address phase through both RETRY
+	// cycles; only the data-phase owner is required to IDLE.
+	m0beat := AddrPhase{Addr: 0x100, Trans: TransNonSeq, Size: Size32, Burst: BurstSingle}
+	m1beat := AddrPhase{Addr: 0x200, Trans: TransNonSeq, Write: true, Size: Size32, Burst: BurstSingle}
+	cycles := []CycleState{
+		// cycle 0: m0 presents its beat, accepted (ready).
+		{AP: m0beat, Grant: 0, Reply: OkayReady()},
+		// cycle 1: grant moved to m1, m0's beat in data phase gets the
+		// first RETRY cycle while m1 presents its beat.
+		{AP: m1beat, Grant: 1, Reply: SlaveReply{Ready: false, Resp: RespRetry}},
+		// cycle 2: second RETRY cycle; m1 HOLDS its address phase
+		// (legal: it is not the retried master).
+		{AP: m1beat, Grant: 1, Reply: SlaveReply{Ready: true, Resp: RespRetry}},
+		// cycle 3: m1's beat proceeds through its data phase.
+		{AP: AddrPhase{}, Grant: 1, Reply: OkayReady()},
+	}
+	var k Checker
+	if err := feed(t, &k, cycles...); err != nil {
+		t.Fatalf("grant-handover RETRY sequence rejected: %v", err)
+	}
+
+	// Control: when the retried master itself holds the address phase
+	// it must IDLE, and the checker still enforces that.
+	var k2 Checker
+	bad := []CycleState{
+		{AP: m0beat, Grant: 0, Reply: OkayReady()},
+		{AP: m0beat, Grant: 0, Reply: SlaveReply{Ready: false, Resp: RespRetry}},
+		{AP: m0beat, Grant: 0, Reply: SlaveReply{Ready: true, Resp: RespRetry}},
+	}
+	err := feed(t, &k2, bad...)
+	if err == nil || !strings.Contains(err.Error(), "must drive IDLE") {
+		t.Fatalf("retried owner keeping its beat must be rejected, got %v", err)
+	}
+}
+
+func TestCheckerViolationErrorFields(t *testing.T) {
+	var k Checker
+	ap := AddrPhase{Addr: 0x1002, Trans: TransNonSeq, Size: Size32}
+	err := k.Check(okCycle(ap))
+	ve, ok := err.(*ViolationError)
+	if !ok {
+		t.Fatalf("want *ViolationError, got %T", err)
+	}
+	if ve.Cycle != 0 {
+		t.Errorf("cycle = %d, want 0", ve.Cycle)
+	}
+	if k.Cycles() != 1 {
+		t.Errorf("Cycles() = %d, want 1", k.Cycles())
+	}
+}

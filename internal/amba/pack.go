@@ -1,0 +1,180 @@
+package amba
+
+import "fmt"
+
+// Wire encoding of PartialState records.
+//
+// The channel cost model charges per 32-bit word, so the packetizer packs
+// a domain's per-cycle contribution into as few words as possible. The
+// layout is:
+//
+//	word 0: header
+//	  bits  0..7   presence flags (hasAP, hasWData, hasReply)
+//	  bits  8..15  req bits     (up to 8 masters)
+//	  bits 16..23  req mask
+//	  bits 24..31  irq bits (owned bits pre-masked; mask implied static)
+//	word 1..2: HADDR, control word          (present iff hasAP)
+//	word 3:    HWDATA                        (present iff hasWData)
+//	word 4:    reply word (ready|resp|rdata16hi? no — see below)
+//	word 5:    HRDATA                        (present iff hasReply)
+//
+// The reply costs two words (flags + full HRDATA) to keep HRDATA
+// lossless. The paper's §1.2 observation that per-cycle payloads rarely
+// exceed five words matches this layout.
+const (
+	flagAP uint32 = 1 << 0
+	flagWD uint32 = 1 << 1
+	flagRP uint32 = 1 << 2
+	flagSP uint32 = 1 << 3
+
+	flagReplyReady uint32 = 1 << 2
+)
+
+// MaxMasters is the largest number of bus masters the wire encoding (and
+// the AHB spec, which defines 16 HBUSREQ lines; we pack 8) supports.
+const MaxMasters = 8
+
+// MaxIRQLines is the number of interrupt lines carried in the header.
+const MaxIRQLines = 8
+
+// PackedWords returns the number of words Pack will emit for p.
+func (p PartialState) PackedWords() int {
+	n := 1
+	if p.HasAP {
+		n += 2
+	}
+	if p.HasWData {
+		n++
+	}
+	if p.HasReply {
+		n += 2
+	}
+	if p.SplitMask != 0 {
+		n++
+	}
+	return n
+}
+
+// Pack appends the wire encoding of p to dst and returns the extended
+// slice. IRQMask and ReqMask are assumed to be static configuration known
+// to both sides; masks are transmitted anyway (one byte each inside the
+// header) so that a receiver can be self-contained.
+func (p PartialState) Pack(dst []Word) []Word {
+	var flags uint32
+	if p.HasAP {
+		flags |= flagAP
+	}
+	if p.HasWData {
+		flags |= flagWD
+	}
+	if p.HasReply {
+		flags |= flagRP
+	}
+	if p.SplitMask != 0 {
+		flags |= flagSP
+	}
+	header := flags |
+		(p.Req&p.ReqMask&0xff)<<8 |
+		(p.ReqMask&0xff)<<16 |
+		(p.IRQ&p.IRQMask&0xff)<<24
+	dst = append(dst, Word(header))
+	if p.HasAP {
+		dst = append(dst, Word(p.AP.Addr), Word(packCtrl(p.AP)))
+	}
+	if p.HasWData {
+		dst = append(dst, p.WData)
+	}
+	if p.HasReply {
+		var rw uint32
+		rw = uint32(p.Reply.Resp)
+		if p.Reply.Ready {
+			rw |= flagReplyReady
+		}
+		dst = append(dst, Word(rw), p.Reply.RData)
+	}
+	if p.SplitMask != 0 {
+		dst = append(dst, Word((p.Split&p.SplitMask&0xff)|(p.SplitMask&0xff)<<8))
+	}
+	return dst
+}
+
+// packCtrl folds the control group into one word:
+// bits 0..1 HTRANS, 2 HWRITE, 3..5 HSIZE, 6..8 HBURST, 9..12 HPROT.
+func packCtrl(a AddrPhase) uint32 {
+	w := uint32(a.Trans) & 0x3
+	if a.Write {
+		w |= 1 << 2
+	}
+	w |= (uint32(a.Size) & 0x7) << 3
+	w |= (uint32(a.Burst) & 0x7) << 6
+	w |= (uint32(a.Prot) & 0xf) << 9
+	return w
+}
+
+func unpackCtrl(w uint32) AddrPhase {
+	return AddrPhase{
+		Trans: Trans(w & 0x3),
+		Write: w&(1<<2) != 0,
+		Size:  Size((w >> 3) & 0x7),
+		Burst: Burst((w >> 6) & 0x7),
+		Prot:  Prot((w >> 9) & 0xf),
+	}
+}
+
+// Unpack decodes one PartialState from the front of src, returning the
+// state, the remaining words, and an error on truncated input. The
+// receiver must supply irqMask, which is static configuration (the header
+// carries pre-masked IRQ bits only).
+func Unpack(src []Word, irqMask uint32) (PartialState, []Word, error) {
+	if len(src) == 0 {
+		return PartialState{}, nil, fmt.Errorf("amba: unpack: empty input")
+	}
+	h := uint32(src[0])
+	src = src[1:]
+	var p PartialState
+	p.ReqMask = (h >> 16) & 0xff
+	p.Req = (h >> 8) & 0xff & p.ReqMask
+	p.IRQMask = irqMask
+	p.IRQ = (h >> 24) & 0xff & irqMask
+	if h&flagAP != 0 {
+		if len(src) < 2 {
+			return PartialState{}, nil, fmt.Errorf("amba: unpack: truncated address phase")
+		}
+		p.HasAP = true
+		ap := unpackCtrl(uint32(src[1]))
+		ap.Addr = Addr(src[0])
+		p.AP = ap
+		src = src[2:]
+	}
+	if h&flagWD != 0 {
+		if len(src) < 1 {
+			return PartialState{}, nil, fmt.Errorf("amba: unpack: truncated write data")
+		}
+		p.HasWData = true
+		p.WData = src[0]
+		src = src[1:]
+	}
+	if h&flagRP != 0 {
+		if len(src) < 2 {
+			return PartialState{}, nil, fmt.Errorf("amba: unpack: truncated reply")
+		}
+		p.HasReply = true
+		rw := uint32(src[0])
+		p.Reply = SlaveReply{
+			Ready: rw&flagReplyReady != 0,
+			Resp:  Resp(rw & 0x3),
+			RData: src[1],
+		}
+		src = src[2:]
+	}
+	if h&flagSP != 0 {
+		if len(src) < 1 {
+			return PartialState{}, nil, fmt.Errorf("amba: unpack: truncated split word")
+		}
+		sw := uint32(src[0])
+		p.SplitMask = (sw >> 8) & 0xff
+		p.Split = sw & 0xff & p.SplitMask
+		src = src[1:]
+	}
+	return p, src, nil
+}

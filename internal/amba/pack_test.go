@@ -1,0 +1,138 @@
+package amba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPartial(r *rand.Rand) PartialState {
+	var p PartialState
+	p.ReqMask = uint32(r.Intn(256))
+	p.Req = uint32(r.Intn(256)) & p.ReqMask
+	p.IRQMask = uint32(r.Intn(256))
+	p.IRQ = uint32(r.Intn(256)) & p.IRQMask
+	if r.Intn(2) == 0 {
+		p.HasAP = true
+		p.AP = AddrPhase{
+			Addr:  Addr(r.Uint32()),
+			Trans: Trans(r.Intn(4)),
+			Write: r.Intn(2) == 0,
+			Size:  Size(r.Intn(8)),
+			Burst: Burst(r.Intn(8)),
+			Prot:  Prot(r.Intn(16)),
+		}
+	}
+	if r.Intn(2) == 0 {
+		p.HasWData = true
+		p.WData = Word(r.Uint32())
+	}
+	if r.Intn(2) == 0 {
+		p.HasReply = true
+		p.Reply = SlaveReply{
+			Ready: r.Intn(2) == 0,
+			Resp:  Resp(r.Intn(4)),
+			RData: Word(r.Uint32()),
+		}
+	}
+	if r.Intn(2) == 0 {
+		p.SplitMask = uint32(1 + r.Intn(255))
+		p.Split = uint32(r.Intn(256)) & p.SplitMask
+	}
+	return p
+}
+
+// Property: Unpack(Pack(p)) == p for any partial state.
+func TestPackRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		p := randomPartial(r)
+		words := p.Pack(nil)
+		if len(words) != p.PackedWords() {
+			t.Fatalf("PackedWords = %d but Pack emitted %d", p.PackedWords(), len(words))
+		}
+		got, rest, err := Unpack(words, p.IRQMask)
+		if err != nil {
+			t.Fatalf("unpack: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("unpack left %d words", len(rest))
+		}
+		if !got.Equal(p) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", p, got)
+		}
+	}
+}
+
+// Property: packing is append-only and multiple records concatenate and
+// split back correctly.
+func TestPackConcatenation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(8)
+		var words []Word
+		var in []PartialState
+		for j := 0; j < n; j++ {
+			p := randomPartial(r)
+			in = append(in, p)
+			words = p.Pack(words)
+		}
+		rest := words
+		for j := 0; j < n; j++ {
+			var got PartialState
+			var err error
+			got, rest, err = Unpack(rest, in[j].IRQMask)
+			if err != nil {
+				t.Fatalf("record %d: %v", j, err)
+			}
+			if !got.Equal(in[j]) {
+				t.Fatalf("record %d mismatch", j)
+			}
+		}
+		if len(rest) != 0 {
+			t.Fatalf("leftover %d words", len(rest))
+		}
+	}
+}
+
+func TestUnpackTruncated(t *testing.T) {
+	p := PartialState{HasAP: true, AP: AddrPhase{Addr: 4, Trans: TransNonSeq, Size: Size32}}
+	words := p.Pack(nil)
+	for cut := 0; cut < len(words); cut++ {
+		if _, _, err := Unpack(words[:cut], 0); err == nil {
+			t.Errorf("truncation at %d words not detected", cut)
+		}
+	}
+	p2 := PartialState{HasReply: true, Reply: SlaveReply{Ready: true}}
+	w2 := p2.Pack(nil)
+	if _, _, err := Unpack(w2[:len(w2)-1], 0); err == nil {
+		t.Error("truncated reply not detected")
+	}
+	p3 := PartialState{HasWData: true, WData: 9}
+	w3 := p3.Pack(nil)
+	if _, _, err := Unpack(w3[:1], 0); err == nil {
+		t.Error("truncated write data not detected")
+	}
+}
+
+// Property (quick): the header always costs exactly one word and payload
+// size is bounded by 7 words (header + AP + wdata + reply + split),
+// matching the paper's "does not exceed five words" payload observation
+// plus our framing.
+func TestPackSizeBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPartial(r)
+		n := len(p.Pack(nil))
+		return n >= 1 && n <= 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackEmpty(t *testing.T) {
+	if _, _, err := Unpack(nil, 0); err == nil {
+		t.Fatal("empty unpack must fail")
+	}
+}

@@ -1,0 +1,88 @@
+package amba
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeDisjointOwnership(t *testing.T) {
+	a := PartialState{
+		Req: 0b01, ReqMask: 0b01,
+		HasAP: true,
+		AP:    AddrPhase{Addr: 0x100, Trans: TransNonSeq, Write: true, Size: Size32, Burst: BurstSingle},
+		IRQ:   0x1, IRQMask: 0x3,
+	}
+	b := PartialState{
+		Req: 0b10, ReqMask: 0b10,
+		HasReply: true,
+		Reply:    SlaveReply{Ready: true, Resp: RespOkay, RData: 0xdead},
+		IRQ:      0x8, IRQMask: 0xc,
+	}
+	c := Merge(a, b)
+	if c.Req != 0b11 {
+		t.Errorf("merged Req = %04b", c.Req)
+	}
+	if c.AP != a.AP {
+		t.Errorf("merged AP = %v", c.AP)
+	}
+	if c.Reply != b.Reply {
+		t.Errorf("merged Reply = %v", c.Reply)
+	}
+	if c.IRQ != 0x9 {
+		t.Errorf("merged IRQ = %x, want 9", c.IRQ)
+	}
+}
+
+func TestMergeDefaultsToIdleResponse(t *testing.T) {
+	a := PartialState{ReqMask: 0b01}
+	b := PartialState{ReqMask: 0b10}
+	c := Merge(a, b)
+	if !c.Reply.Ready || c.Reply.Resp != RespOkay {
+		t.Fatalf("idle merge must give OKAY/ready, got %v", c.Reply)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMergeConflictsPanic(t *testing.T) {
+	mustPanic(t, "req overlap", func() {
+		Merge(PartialState{ReqMask: 1}, PartialState{ReqMask: 1})
+	})
+	mustPanic(t, "double AP", func() {
+		Merge(PartialState{HasAP: true, ReqMask: 1}, PartialState{HasAP: true, ReqMask: 2})
+	})
+	mustPanic(t, "double wdata", func() {
+		Merge(PartialState{HasWData: true, ReqMask: 1}, PartialState{HasWData: true, ReqMask: 2})
+	})
+	mustPanic(t, "double reply", func() {
+		Merge(PartialState{HasReply: true, ReqMask: 1}, PartialState{HasReply: true, ReqMask: 2})
+	})
+}
+
+func TestCycleStateString(t *testing.T) {
+	cs := CycleState{Grant: 2, Req: 0b0110}
+	s := cs.String()
+	if !strings.Contains(s, "grant=2") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestCycleStateEqual(t *testing.T) {
+	a := CycleState{Grant: 1, Req: 3, WData: 7}
+	b := a
+	if !a.Equal(b) {
+		t.Error("identical states must be equal")
+	}
+	b.WData = 8
+	if a.Equal(b) {
+		t.Error("different states must not be equal")
+	}
+}

@@ -1,0 +1,105 @@
+package channel
+
+import (
+	"testing"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/device"
+	"coemu/internal/vclock"
+)
+
+func TestSendChargesStartupPlusPayload(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	c.Send(SimToAcc, []amba.Word{1, 2, 3, 4})
+	want := 12200*time.Nanosecond + time.Duration(4*49950/1000)
+	if got := l.Get(vclock.Channel); got != want {
+		t.Fatalf("charged %v, want %v", got, want)
+	}
+	if l.Count(vclock.Channel) != 1 {
+		t.Fatal("one access must be one charge")
+	}
+}
+
+func TestRoundTripData(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	in := []amba.Word{0xDEAD, 0xBEEF}
+	c.Send(AccToSim, in)
+	in[0] = 0 // sender reuses its buffer; the packet must be unaffected
+	out := c.Recv(AccToSim)
+	if len(out) != 2 || out[0] != 0xDEAD || out[1] != 0xBEEF {
+		t.Fatalf("recv gave %v", out)
+	}
+}
+
+func TestQueueOrderingAndPending(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	c.Send(SimToAcc, []amba.Word{1})
+	c.Send(SimToAcc, []amba.Word{2})
+	if c.Pending(SimToAcc) != 2 {
+		t.Fatalf("pending = %d", c.Pending(SimToAcc))
+	}
+	if got := c.Recv(SimToAcc); got[0] != 1 {
+		t.Fatalf("fifo order broken: %v", got)
+	}
+	if got := c.Recv(SimToAcc); got[0] != 2 {
+		t.Fatalf("fifo order broken: %v", got)
+	}
+}
+
+func TestRecvEmptyPanics(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty recv must panic")
+		}
+	}()
+	c.Recv(SimToAcc)
+}
+
+func TestStatsHistogram(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	c.Send(SimToAcc, make([]amba.Word, 1))
+	c.Send(SimToAcc, make([]amba.Word, 4))
+	c.Send(SimToAcc, make([]amba.Word, 40))
+	c.Send(AccToSim, make([]amba.Word, 100))
+	st := c.Stats()
+	if st.TotalAccesses() != 4 || st.TotalWords() != 145 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.SizeHist[SimToAcc][0] != 1 || st.SizeHist[SimToAcc][2] != 1 || st.SizeHist[SimToAcc][4] != 1 {
+		t.Fatalf("sim->acc hist %v", st.SizeHist[SimToAcc])
+	}
+	if st.SizeHist[AccToSim][5] != 1 {
+		t.Fatalf("acc->sim hist %v", st.SizeHist[AccToSim])
+	}
+	if len(BucketLabels()) != 6 {
+		t.Fatal("bucket labels")
+	}
+}
+
+func TestZeroPayloadStillCostsStartup(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	c.Send(SimToAcc, nil)
+	if got := l.Get(vclock.Channel); got != 12200*time.Nanosecond {
+		t.Fatalf("empty access charged %v", got)
+	}
+	if got := c.Recv(SimToAcc); len(got) != 0 {
+		t.Fatalf("empty packet came back with %d words", len(got))
+	}
+}
+
+func TestNilLedgerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil ledger must panic")
+		}
+	}()
+	New(device.IPROVE(), nil)
+}

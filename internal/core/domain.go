@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/bus"
+	"coemu/internal/ip"
+	"coemu/internal/rollback"
+	"coemu/internal/sim"
+	"coemu/internal/vclock"
+)
+
+// Domain is one verification domain: a half-bus model (the paper's HBMS
+// or HBMA) populated with the components local to the domain, the
+// channel-wrapper bookkeeping (predictor, snapshot registry), and the
+// domain's cost parameters (per-cycle evaluation time, store/restore
+// cost model).
+type Domain struct {
+	id   DomainID
+	bus  *bus.Bus
+	pred *remotePredictor
+	reg  rollback.Registry
+
+	masters []*ip.TrafficMaster // local masters (for stats)
+	tickers []sim.Clocked
+	clock   sim.Clock
+
+	cycleCost time.Duration
+	timeCat   vclock.Category
+	costModel rollback.CostModel
+
+	evaluated   bool
+	pendingEval amba.PartialState
+}
+
+// buildDomain constructs one half of the split system.
+func buildDomain(d Design, id DomainID, cycleCost time.Duration, costModel rollback.CostModel, opts predictorOptions) *Domain {
+	dom := &Domain{
+		id:        id,
+		bus:       bus.New(id.String()),
+		cycleCost: cycleCost,
+		costModel: costModel,
+	}
+	if id == SimDomain {
+		dom.timeCat = vclock.Sim
+	} else {
+		dom.timeCat = vclock.Acc
+	}
+	dom.bus.SetOwnsDefault(d.OwnsDefault == id)
+
+	for _, ms := range d.Masters {
+		if ms.Domain == id {
+			gen := ms.NewGen()
+			m := ip.NewTrafficMaster(ms.Name, gen, ms.BusyEvery)
+			dom.masters = append(dom.masters, m)
+			dom.bus.AddMaster(m)
+			vars := ms.Vars
+			if vars == 0 {
+				vars = defaultVars
+			}
+			dom.reg.Register(ms.Name, m, vars)
+			if g, ok := gen.(rollback.Snapshotter); ok {
+				dom.reg.Register(ms.Name+".gen", g, 1)
+			}
+		} else {
+			dom.bus.AddExternalMaster(ms.Name)
+		}
+	}
+
+	waitProfiles := make(map[int][2]int)
+	var remoteIRQ uint32
+	remoteSplit := false
+	for _, ss := range d.Slaves {
+		if ss.Domain == id {
+			s := ss.New()
+			if _, isSplit := s.(bus.SplitSource); isSplit != ss.SplitCapable {
+				panic(fmt.Sprintf("core: slave %q: SplitCapable=%v but implementation says %v",
+					ss.Name, ss.SplitCapable, isSplit))
+			}
+			dom.bus.MapSlave(s, ss.Region, ss.IRQMask)
+			if j, ok := s.(ip.Journaler); ok {
+				// Domains snapshot once per transition and restore at
+				// most once, exactly the discipline journal mode
+				// requires; O(1) saves beat O(footprint) map copies.
+				j.SetJournaling(true)
+			}
+			if snap, ok := s.(rollback.Snapshotter); ok {
+				vars := ss.Vars
+				if vars == 0 {
+					vars = defaultVars
+				}
+				dom.reg.Register(ss.Name, snap, vars)
+			}
+			if c, ok := s.(sim.Clocked); ok {
+				dom.tickers = append(dom.tickers, c)
+			}
+		} else {
+			idx := dom.bus.MapExternalSlave(ss.Name, ss.Region)
+			waitProfiles[idx] = [2]int{ss.WaitFirst, ss.WaitNext}
+			remoteIRQ |= ss.IRQMask
+			if ss.SplitCapable {
+				remoteSplit = true
+			}
+		}
+	}
+
+	dom.pred = newRemotePredictor(dom.bus, d.OwnsDefault == id, waitProfiles, opts)
+	dom.pred.setRemoteIRQMask(remoteIRQ)
+	if remoteSplit {
+		dom.pred.setRemoteSplitMask((1 << uint(dom.bus.Masters())) - 1)
+	}
+	dom.reg.Register("bus", dom.bus, 5)
+	dom.reg.Register("predictor", dom.pred, 5)
+	dom.reg.Register("clock", &dom.clock, 1)
+	return dom
+}
+
+// ID returns the domain identity.
+func (d *Domain) ID() DomainID { return d.id }
+
+// Bus returns the half-bus model.
+func (d *Domain) Bus() *bus.Bus { return d.bus }
+
+// Vars returns the domain's rollback-variable count.
+func (d *Domain) Vars() int { return d.reg.Vars() }
+
+// Now returns the number of committed target cycles in this domain.
+func (d *Domain) Now() int64 { return d.clock.Now() }
+
+// Masters returns the domain's local masters.
+func (d *Domain) Masters() []*ip.TrafficMaster { return d.masters }
+
+// Evaluate computes the domain's contribution for the upcoming cycle
+// and charges one cycle of domain time to the ledger.
+func (d *Domain) Evaluate(ledger *vclock.Ledger) amba.PartialState {
+	if d.evaluated {
+		panic(fmt.Sprintf("core: domain %s: Evaluate without Commit", d.id))
+	}
+	ledger.Charge(d.timeCat, d.cycleCost)
+	d.pendingEval = d.bus.Evaluate()
+	d.evaluated = true
+	return d.pendingEval
+}
+
+// Commit completes the cycle with the given remote contribution (real or
+// predicted), ticks the domain's clocked components, advances the
+// predictor's observation stream, and returns the full merged MSABS
+// record.
+func (d *Domain) Commit(remote amba.PartialState) amba.CycleState {
+	if !d.evaluated {
+		panic(fmt.Sprintf("core: domain %s: Commit without Evaluate", d.id))
+	}
+	d.evaluated = false
+	d.pred.StashDataPhase()
+	res := d.bus.Commit(remote)
+	cycle := d.clock.Advance()
+	for _, t := range d.tickers {
+		t.Tick(cycle)
+	}
+	d.pred.Observe(res.State, remote)
+	return res.State
+}
+
+// Predict returns the predicted remote contribution for the upcoming
+// cycle, or the reason no prediction is possible.
+func (d *Domain) Predict() (amba.PartialState, DeclineReason) {
+	if d.evaluated {
+		// Predict is legal both before and after Evaluate (it touches
+		// only registered bus state), but the engine always predicts
+		// after evaluating; assert nothing either way.
+		_ = d.pendingEval
+	}
+	return d.pred.Predict()
+}
+
+// Snapshot captures the whole domain (components, generators, bus,
+// predictor, clock) and charges the store cost.
+func (d *Domain) Snapshot(ledger *vclock.Ledger, vars int) rollback.Snapshot {
+	if d.evaluated {
+		panic(fmt.Sprintf("core: domain %s: snapshot mid-cycle", d.id))
+	}
+	ledger.Charge(vclock.Store, d.costModel.StoreCost(vars))
+	return d.reg.Save()
+}
+
+// Rollback restores a snapshot and charges the restore cost.
+func (d *Domain) Rollback(ledger *vclock.Ledger, vars int, s rollback.Snapshot) {
+	if d.evaluated {
+		// A leader waiting in Get-response has an outstanding Evaluate
+		// for the final cycle; rolling back cancels it.
+		d.evaluated = false
+	}
+	ledger.Charge(vclock.Restore, d.costModel.RestoreCost(vars))
+	d.reg.Restore(s)
+}
+
+// LocalIRQMask returns the interrupt lines owned by this domain.
+func (d *Domain) LocalIRQMask() uint32 { return d.bus.LocalIRQMask() }

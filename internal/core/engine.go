@@ -1,0 +1,567 @@
+// Package core implements the paper's contribution: the predictive
+// packetizing channel-usage scheme for transaction-level hardware/
+// software co-emulation.
+//
+// An Engine owns the two verification domains (each a half-bus model
+// with its local components), the cost-accounted channel between them,
+// and the channel-wrapper protocol: conservative cycle-by-cycle
+// synchronization, and optimistic transitions consisting of the paper's
+// four steps — Run-Ahead (leader commits cycles against predicted
+// lagger responses, depositing outputs into the Leader Output Buffer),
+// Follow-Up (lagger replays the flushed cycles, checking each
+// prediction), and on a misprediction RollBack and Roll-Forth (leader
+// restores its pre-transition state and replays to the lagger's
+// progress point using the recorded values).
+//
+// Execution is deterministic and single-threaded; domain and channel
+// time are charged to a virtual wall clock whose total defines the
+// "simulation performance" metric of the paper's Table 2 and Figure 4.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/channel"
+	"coemu/internal/device"
+	"coemu/internal/predict"
+	"coemu/internal/rollback"
+	"coemu/internal/stats"
+	"coemu/internal/vclock"
+)
+
+// Mode selects the synchronization scheme.
+type Mode uint8
+
+// Operating modes. The paper evaluates Conservative (the baseline), SLA
+// and ALS; Auto is the dynamic mode of §3 item 4, choosing the leader
+// per transition from the direction of data flow.
+const (
+	Conservative Mode = iota
+	SLA               // Simulator Leading Accelerator
+	ALS               // Accelerator Leading Simulator
+	Auto
+)
+
+// String returns the mode mnemonic.
+func (m Mode) String() string {
+	switch m {
+	case Conservative:
+		return "conservative"
+	case SLA:
+		return "SLA"
+	case ALS:
+		return "ALS"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Mode selects the synchronization scheme. Default Conservative.
+	Mode Mode
+	// SimSpeed and AccSpeed are the domain evaluation rates in target
+	// cycles per second. The paper's Table 2 uses 1,000 kcycles/s and
+	// 10 Mcycles/s. Defaults: 1e6 and 1e7.
+	SimSpeed, AccSpeed float64
+	// LOBDepth is the Leader Output Buffer capacity in 32-bit words
+	// (the paper's Table 2 uses 64). Default 64.
+	LOBDepth int
+	// Stack is the channel transport model. Default device.IPROVE().
+	Stack *device.Stack
+	// SimCost/AccCost are the store/restore cost models. Defaults:
+	// rollback.SoftwareCost() and rollback.HardwareCost().
+	SimCost, AccCost *rollback.CostModel
+	// RollbackVars, when positive, overrides the rollback-variable
+	// count used for store/restore pricing (the paper assumes 1000).
+	// Zero prices the actual registered state.
+	RollbackVars int
+	// Accuracy, when in [0,1), activates the fault injector: each
+	// checked prediction is additionally declared wrong with
+	// probability 1-Accuracy, pinning the paper's accuracy axis.
+	// Accuracy 1 (default via NaN-free zero value handling: set it
+	// explicitly) runs with organic prediction accuracy only.
+	Accuracy float64
+	// FaultSeed seeds the injector.
+	FaultSeed uint64
+	// KeepTrace records the merged MSABS trace for equivalence checks.
+	KeepTrace bool
+	// CheckProtocol attaches the AHB protocol checker to the committed
+	// trace stream.
+	CheckProtocol bool
+
+	// PredictIdle is an extension beyond the paper: idle remote masters
+	// are predicted to stay idle, so leaders run ahead through bus-idle
+	// stretches and pay a rollback when the master wakes.
+	PredictIdle bool
+	// PredictBurstStarts is an extension beyond the paper: the next
+	// burst start of a remote master is predicted by stride
+	// extrapolation, letting streaming leaders cross burst boundaries
+	// without synchronizing.
+	PredictBurstStarts bool
+	// PaperStrictTransitions reproduces the paper's P-5/P-6 sequence
+	// exactly: each transition opens with one conservative cycle, with
+	// the rollback state stored at its end ("This is to store the
+	// state of leader before taking 'optimistic' operations"), and a
+	// transition whose prediction fails immediately afterwards wastes
+	// the store (footnote 6). Off by default: snapshotting directly at
+	// the sync point is behaviorally identical and one cycle cheaper.
+	PaperStrictTransitions bool
+	// Adaptive enables the dynamic mode governor (the paper's §3 item 4
+	// "dynamic decisions among SLA, ALS and conservative operating
+	// modes"): when the recent misprediction rate exceeds
+	// AdaptiveThreshold the engine falls back to conservative cycles,
+	// probing optimism again as the estimate decays.
+	Adaptive bool
+	// AdaptiveThreshold is the misprediction-rate EWMA above which the
+	// governor forces conservative operation. Default 0.35.
+	AdaptiveThreshold float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.SimSpeed == 0 {
+		c.SimSpeed = 1e6
+	}
+	if c.AccSpeed == 0 {
+		c.AccSpeed = 1e7
+	}
+	if c.LOBDepth == 0 {
+		c.LOBDepth = 64
+	}
+	if c.Stack == nil {
+		s := device.IPROVE()
+		c.Stack = &s
+	}
+	if c.SimCost == nil {
+		m := rollback.SoftwareCost()
+		c.SimCost = &m
+	}
+	if c.AccCost == nil {
+		m := rollback.HardwareCost()
+		c.AccCost = &m
+	}
+	if c.Accuracy == 0 {
+		c.Accuracy = 1
+	}
+	if c.AdaptiveThreshold == 0 {
+		c.AdaptiveThreshold = 0.35
+	}
+	return c
+}
+
+// maxPartialWords is the wire-size ceiling of one amba.PartialState
+// (header + address/control + write data + reply + split word), used to
+// reserve LOB room for the final prediction-less entry.
+const maxPartialWords = 7
+
+// minLOBDepth is the smallest usable LOB: the framing word plus one
+// worst-case bare entry. The paper's smallest evaluated depth is 8.
+const minLOBDepth = 1 + maxPartialWords
+
+// Stats collects the engine's behavioral counters.
+type Stats struct {
+	Committed          int64
+	ConservativeCycles int64
+	Transitions        int64
+	RunAheadCycles     int64 // cycles committed optimistically by a leader
+	FollowUpCycles     int64 // cycles committed by laggers
+	RollForthCycles    int64 // leader cycles re-executed after rollback
+	Rollbacks          int64
+	Stores             int64
+	Restores           int64
+	ChecksTotal        int64
+	Mispredicts        int64 // organic + injected
+	Injected           int64
+	TransitionsByLead  [2]int64
+	Declines           map[DeclineReason]int64
+}
+
+// Report is the outcome of an engine run.
+type Report struct {
+	Mode    Mode
+	Cycles  int64
+	Ledger  vclock.Ledger
+	Stats   Stats
+	Channel channel.Stats
+	Trace   []amba.CycleState // nil unless Config.KeepTrace
+
+	// LOBPeakWords is the high-water mark of the leader output buffer.
+	LOBPeakWords int
+	// TransitionLengths is the distribution of committed cycles per
+	// transition; RollForthLengths the distribution of replay lengths.
+	TransitionLengths *stats.Hist
+	RollForthLengths  *stats.Hist
+}
+
+// Perf returns the headline metric: target cycles per second of modeled
+// wall-clock time.
+func (r *Report) Perf() float64 { return r.Ledger.CyclesPerSecond(r.Cycles) }
+
+// Engine drives one co-emulation session.
+type Engine struct {
+	cfg     Config
+	domains [2]*Domain
+	ch      *channel.Channel
+	ledger  vclock.Ledger
+	lob     *LOB
+	inject  *predict.FaultInjector
+	stats   Stats
+	checker amba.Checker
+	trace   []amba.CycleState
+
+	transLen *stats.Hist
+	rollLen  *stats.Hist
+
+	// failEWMA estimates the recent misprediction rate for the
+	// adaptive governor.
+	failEWMA float64
+}
+
+// EWMA constants of the adaptive governor: per-check blending and the
+// per-conservative-cycle decay that lets the engine probe optimism again
+// after backing off.
+const (
+	ewmaBlend = 0.05
+	ewmaDecay = 0.995
+)
+
+// NewEngine builds the split system for a design.
+func NewEngine(d Design, cfg Config) (*Engine, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if cfg.SimSpeed <= 0 || cfg.AccSpeed <= 0 {
+		return nil, fmt.Errorf("core: non-positive domain speed")
+	}
+	if cfg.LOBDepth < minLOBDepth {
+		return nil, fmt.Errorf("core: LOB depth %d words < minimum %d (one framing word plus one worst-case entry)", cfg.LOBDepth, minLOBDepth)
+	}
+	e := &Engine{cfg: cfg, lob: NewLOB(cfg.LOBDepth)}
+	e.ch = channel.New(*cfg.Stack, &e.ledger)
+	simCyc := time.Duration(1e9 / cfg.SimSpeed)
+	accCyc := time.Duration(1e9 / cfg.AccSpeed)
+	opts := predictorOptions{Idle: cfg.PredictIdle, Starts: cfg.PredictBurstStarts}
+	e.domains[SimDomain] = buildDomain(d, SimDomain, simCyc, *cfg.SimCost, opts)
+	e.domains[AccDomain] = buildDomain(d, AccDomain, accCyc, *cfg.AccCost, opts)
+	if cfg.Accuracy < 1 {
+		e.inject = predict.NewFaultInjector(cfg.Accuracy, cfg.FaultSeed)
+	}
+	e.stats.Declines = make(map[DeclineReason]int64)
+	e.transLen = stats.NewHist()
+	e.rollLen = stats.NewHist()
+	return e, nil
+}
+
+// Domain returns one of the two domains (for inspection in tests).
+func (e *Engine) Domain(id DomainID) *Domain { return e.domains[id] }
+
+// vars returns the rollback-variable count used for pricing stores and
+// restores of domain d.
+func (e *Engine) vars(d *Domain) int {
+	if e.cfg.RollbackVars > 0 {
+		return e.cfg.RollbackVars
+	}
+	return d.Vars()
+}
+
+// dirFrom returns the channel direction for traffic sent by domain d.
+func dirFrom(d DomainID) channel.Dir {
+	if d == SimDomain {
+		return channel.SimToAcc
+	}
+	return channel.AccToSim
+}
+
+// commitTrace records a committed cycle in the merged trace stream.
+func (e *Engine) commitTrace(cs amba.CycleState) error {
+	if e.cfg.CheckProtocol {
+		if err := e.checker.Check(cs); err != nil {
+			return fmt.Errorf("core: committed trace: %w", err)
+		}
+	}
+	if e.cfg.KeepTrace {
+		e.trace = append(e.trace, cs)
+	}
+	e.stats.Committed++
+	return nil
+}
+
+// conservativeCycle synchronizes both domains for one cycle the
+// conventional way: each domain evaluates and ships its contribution,
+// two channel accesses total (the C-path of the paper's Figure 3).
+func (e *Engine) conservativeCycle() error {
+	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
+	simOut := simD.Evaluate(&e.ledger)
+	e.ch.Send(channel.SimToAcc, simOut.Pack(nil))
+	accOut := accD.Evaluate(&e.ledger)
+	e.ch.Send(channel.AccToSim, accOut.Pack(nil))
+
+	simIn, _, err := amba.Unpack(e.ch.Recv(channel.AccToSim), accD.LocalIRQMask())
+	if err != nil {
+		return fmt.Errorf("core: conservative sim<-acc: %w", err)
+	}
+	accIn, _, err := amba.Unpack(e.ch.Recv(channel.SimToAcc), simD.LocalIRQMask())
+	if err != nil {
+		return fmt.Errorf("core: conservative acc<-sim: %w", err)
+	}
+
+	fullSim := simD.Commit(simIn)
+	fullAcc := accD.Commit(accIn)
+	if !fullSim.Equal(fullAcc) {
+		return fmt.Errorf("core: domains diverged on a conservative cycle:\nsim: %s\nacc: %s", fullSim, fullAcc)
+	}
+	e.stats.ConservativeCycles++
+	e.failEWMA *= ewmaDecay
+	return e.commitTrace(fullSim)
+}
+
+// chooseLeader picks the leading domain for the next transition, or nil
+// for a conservative cycle.
+func (e *Engine) chooseLeader() *Domain {
+	if e.cfg.Adaptive && e.failEWMA > e.cfg.AdaptiveThreshold {
+		// Governor back-off: recent predictions were too unreliable for
+		// optimism to pay; run conservative and let the estimate decay.
+		return nil
+	}
+	try := func(d *Domain) *Domain {
+		if _, reason := d.Predict(); reason == DeclineNone {
+			return d
+		} else {
+			e.stats.Declines[reason]++
+		}
+		return nil
+	}
+	switch e.cfg.Mode {
+	case Conservative:
+		return nil
+	case SLA:
+		return try(e.domains[SimDomain])
+	case ALS:
+		return try(e.domains[AccDomain])
+	case Auto:
+		// The data source leads: for a write in flight that is the
+		// master's domain, for a read the slave's. Idle bus: prefer the
+		// accelerator (the faster domain gains more from running ahead).
+		b := e.domains[SimDomain].Bus() // both buses agree at sync points
+		pref := e.domains[AccDomain]
+		if valid, ap, master, slave := b.DataPhase(); valid {
+			if ap.Write {
+				pref = e.domains[e.masterDomain(master)]
+			} else {
+				pref = e.domains[e.slaveDomain(slave)]
+			}
+		}
+		if d := try(pref); d != nil {
+			return d
+		}
+		return try(e.domains[pref.ID().Other()])
+	default:
+		return nil
+	}
+}
+
+// masterDomain returns the domain of global master index i.
+func (e *Engine) masterDomain(i int) DomainID {
+	if e.domains[SimDomain].Bus().MasterLocal(i) {
+		return SimDomain
+	}
+	return AccDomain
+}
+
+// slaveDomain returns the domain of global slave index i (default slave
+// belongs to its owner).
+func (e *Engine) slaveDomain(i int) DomainID {
+	if i < 0 {
+		if e.domains[SimDomain].Bus().OwnsDefaultSlave() {
+			return SimDomain
+		}
+		return AccDomain
+	}
+	if e.domains[SimDomain].Bus().SlaveLocal(i) {
+		return SimDomain
+	}
+	return AccDomain
+}
+
+// transition runs one full optimistic transition with the given leader.
+// It returns the number of target cycles committed.
+func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
+	lagger := e.domains[leader.ID().Other()]
+	e.stats.Transitions++
+	e.stats.TransitionsByLead[leader.ID()]++
+
+	committedLead := int64(0)
+	if e.cfg.PaperStrictTransitions {
+		// P-6: the first P-path cycle runs conservatively; the state
+		// store registered in P-5 happens once it completes and the
+		// leader's variables have stabilized (footnote 5).
+		if err := e.conservativeCycle(); err != nil {
+			return 0, err
+		}
+		committedLead = 1
+		budget--
+		if budget <= 0 {
+			return committedLead, nil
+		}
+	}
+
+	// rb_store (P-5): capture the leader before optimistic operation.
+	snap := leader.Snapshot(&e.ledger, e.vars(leader))
+	e.stats.Stores++
+	e.lob.Reset()
+
+	if e.cfg.PaperStrictTransitions {
+		if _, reason := leader.Predict(); reason != DeclineNone {
+			// Footnote 6: the leader can no longer predict at the very
+			// next cycle; the transition ends with the state store
+			// spent for nothing.
+			e.stats.Declines[reason]++
+			return committedLead, nil
+		}
+	}
+
+	// Run-Ahead (P-path): commit cycles against predictions until the
+	// predictor declines, the LOB fills, or the budget is reached. The
+	// buffer always keeps room for the final, prediction-less entry
+	// (maxPartialWords), which is deposited after the loop decides to
+	// stop — by then the cycle is already evaluated.
+	var preds []amba.PartialState
+	for {
+		out := leader.Evaluate(&e.ledger)
+		pred, reason := leader.Predict()
+		entry := Entry{Out: out, Pred: pred, HasPred: true}
+		last := false
+		if reason != DeclineNone {
+			e.stats.Declines[reason]++
+			last = true
+		} else if int64(e.lob.Len()+1) >= budget {
+			last = true // the budgeted final cycle resolves conventionally
+		} else if e.lob.Words()+entry.Words()+maxPartialWords > e.lob.Depth() {
+			last = true
+		}
+		if last {
+			e.lob.Push(Entry{Out: out})
+			break
+		}
+		e.lob.Push(entry)
+		preds = append(preds, pred)
+		leader.Commit(pred)
+		e.stats.RunAheadCycles++
+	}
+
+	// Flush (S-2): the whole LOB crosses the channel as one burst.
+	entries := e.lob.Entries()
+	e.ch.Send(dirFrom(leader.ID()), packFlush(entries))
+	flushPkt := e.ch.Recv(dirFrom(leader.ID()))
+	got, err := unpackFlush(flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
+	if err != nil {
+		return committedLead, err
+	}
+
+	// Follow-Up (L-path): the lagger replays each cycle with the
+	// leader's outputs and checks each prediction (L-1).
+	committed := committedLead
+	for i, entry := range got {
+		laggerOut := lagger.Evaluate(&e.ledger)
+		full := lagger.Commit(entry.Out)
+		e.stats.FollowUpCycles++
+		if err := e.commitTrace(full); err != nil {
+			return committed, err
+		}
+		committed++
+
+		if !entry.HasPred {
+			// Final entry: report the lagger's actual contribution
+			// (R-path); the leader completes its pending cycle with it.
+			e.ch.Send(dirFrom(lagger.ID()), packReport(true, 0, laggerOut))
+			ok, _, actual, err := unpackReport(e.ch.Recv(dirFrom(lagger.ID())), lagger.LocalIRQMask())
+			if err != nil || !ok {
+				return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
+			}
+			leader.Commit(actual)
+			return committed, nil
+		}
+
+		e.stats.ChecksTotal++
+		match := laggerOut.Equal(entry.Pred)
+		if match && e.inject != nil && e.inject.Mispredict() {
+			match = false
+			e.stats.Injected++
+		}
+		if match {
+			e.failEWMA *= 1 - ewmaBlend
+			continue
+		}
+		e.failEWMA = e.failEWMA*(1-ewmaBlend) + ewmaBlend
+		e.stats.Mispredicts++
+
+		// Prediction failure (L-5): report the actual contribution.
+		e.ch.Send(dirFrom(lagger.ID()), packReport(false, i, laggerOut))
+		ok, idx, actual, err := unpackReport(e.ch.Recv(dirFrom(lagger.ID())), lagger.LocalIRQMask())
+		if err != nil || ok || idx != i {
+			return committed, fmt.Errorf("core: failure report: ok=%v idx=%d err=%v", ok, idx, err)
+		}
+
+		// RollBack (S-6) + Roll-Forth (F-path): restore, then replay to
+		// the lagger's progress point using recorded predictions (all
+		// correct before i) and the reported actual for cycle i.
+		leader.Rollback(&e.ledger, e.vars(leader), snap)
+		e.stats.Rollbacks++
+		e.stats.Restores++
+		e.rollLen.Add(i + 1)
+		for r := 0; r <= i; r++ {
+			replayOut := leader.Evaluate(&e.ledger)
+			if !replayOut.Equal(got[r].Out) {
+				return committed, fmt.Errorf("core: roll-forth diverged at %d/%d:\nwas: %+v\nnow: %+v", r, i, got[r].Out, replayOut)
+			}
+			remote := actual
+			if r < i {
+				remote = preds[r]
+			}
+			leader.Commit(remote)
+			e.stats.RollForthCycles++
+		}
+		return committed, nil
+	}
+	return committed, fmt.Errorf("core: transition fell through (no final entry)")
+}
+
+// Run executes the co-emulation for the given number of target cycles
+// and returns the report.
+func (e *Engine) Run(cycles int64) (*Report, error) {
+	if cycles <= 0 {
+		return nil, fmt.Errorf("core: non-positive cycle count %d", cycles)
+	}
+	for e.stats.Committed < cycles {
+		leader := e.chooseLeader()
+		if leader == nil {
+			if err := e.conservativeCycle(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n, err := e.transition(leader, cycles-e.stats.Committed)
+		if err != nil {
+			return nil, err
+		}
+		e.transLen.Add(int(n))
+	}
+	rep := &Report{
+		Mode:              e.cfg.Mode,
+		Cycles:            e.stats.Committed,
+		Ledger:            e.ledger.Snapshot(),
+		Stats:             e.stats,
+		Channel:           e.ch.Stats(),
+		Trace:             e.trace,
+		LOBPeakWords:      e.lob.PeakWords(),
+		TransitionLengths: e.transLen,
+		RollForthLengths:  e.rollLen,
+	}
+	return rep, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"coemu/internal/amba"
+)
+
+// Entry is one run-ahead cycle recorded in the Leader Output Buffer: the
+// leader's own contribution for the cycle plus, for all but the final
+// entry of a transition, the prediction of the lagger's contribution the
+// leader committed with.
+//
+// The paper's footnote 7: "the last leader-to-lagger data does not
+// contain prediction. The last unit cycle operation of leading CW does
+// not predict the state of lagger as it tries to read it from lagger as
+// conventional method does." HasPred is therefore false exactly once,
+// for the final entry.
+type Entry struct {
+	Out     amba.PartialState
+	Pred    amba.PartialState
+	HasPred bool
+}
+
+// Words returns the wire size of the entry in 32-bit words.
+func (e Entry) Words() int {
+	n := e.Out.PackedWords()
+	if e.HasPred {
+		n += e.Pred.PackedWords()
+	}
+	return n
+}
+
+// LOB is the Leader Output Buffer: during the run-ahead step the leader
+// deposits its outputs (and predictions) here instead of paying a
+// channel access per cycle; a flush ships the whole buffer as one burst.
+// Capacity is measured in 32-bit words, matching the paper's "LOB depth"
+// parameter (64 words in Table 2, 8 vs 64 in Figure 4).
+type LOB struct {
+	depth   int
+	entries []Entry
+	words   int
+	flushes int64
+	peak    int
+}
+
+// NewLOB creates a buffer holding at most depth words. The flush framing
+// costs one extra word (the entry count), reserved out of the depth.
+func NewLOB(depth int) *LOB {
+	if depth < 1 {
+		panic(fmt.Sprintf("core: LOB depth %d < 1", depth))
+	}
+	return &LOB{depth: depth}
+}
+
+// Depth returns the configured capacity in words.
+func (l *LOB) Depth() int { return l.depth }
+
+// Len returns the number of buffered entries.
+func (l *LOB) Len() int { return len(l.entries) }
+
+// Words returns the current payload size in words, including framing.
+func (l *LOB) Words() int { return l.words + 1 }
+
+// Fits reports whether an additional entry would still fit.
+func (l *LOB) Fits(e Entry) bool { return l.Words()+e.Words() <= l.depth }
+
+// Push appends an entry. Pushing past capacity panics: the leader must
+// check Fits first — overflow is a channel-wrapper bug, not a condition
+// to absorb.
+func (l *LOB) Push(e Entry) {
+	if !l.Fits(e) {
+		panic(fmt.Sprintf("core: LOB overflow (%d+%d > %d words)", l.Words(), e.Words(), l.depth))
+	}
+	if len(l.entries) > 0 && !l.entries[len(l.entries)-1].HasPred {
+		panic("core: push after the final (prediction-less) entry")
+	}
+	l.entries = append(l.entries, e)
+	l.words += e.Words()
+	if l.Words() > l.peak {
+		l.peak = l.Words()
+	}
+}
+
+// Entries returns the buffered entries in deposit order.
+func (l *LOB) Entries() []Entry { return l.entries }
+
+// Reset empties the buffer (after a flush).
+func (l *LOB) Reset() {
+	l.entries = l.entries[:0]
+	l.words = 0
+	l.flushes++
+}
+
+// Flushes returns how many times the buffer was flushed.
+func (l *LOB) Flushes() int64 { return l.flushes }
+
+// PeakWords returns the high-water mark of Words() across the run.
+func (l *LOB) PeakWords() int { return l.peak }

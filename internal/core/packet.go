@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"coemu/internal/amba"
+)
+
+// Wire formats for the three packet kinds the channel wrappers exchange.
+//
+// Conservative exchange packets carry a single PartialState (amba's wire
+// encoding). Flush packets carry the whole LOB: a count word followed by
+// count entries, where every entry but the last is an (out, pred) pair
+// and the last is a bare out — the prediction presence is implied by
+// position, so no per-entry marker words are spent. Report packets carry
+// a status word (reportSuccess or the zero-based index of the failed
+// prediction) followed by the lagger's actual contribution for the
+// reported cycle.
+
+// reportSuccess is the status word of a successful follow-up report.
+const reportSuccess = ^amba.Word(0)
+
+// packFlush encodes the LOB contents.
+func packFlush(entries []Entry) []amba.Word {
+	out := make([]amba.Word, 0, 64)
+	out = append(out, amba.Word(len(entries)))
+	for i, e := range entries {
+		if e.HasPred != (i < len(entries)-1) {
+			panic(fmt.Sprintf("core: flush entry %d/%d has unexpected prediction presence", i, len(entries)))
+		}
+		out = e.Out.Pack(out)
+		if e.HasPred {
+			out = e.Pred.Pack(out)
+		}
+	}
+	return out
+}
+
+// unpackFlush decodes a flush packet. irqMask is the IRQ ownership of
+// the sending (leader) domain for its outs; predMask is the lagger-side
+// ownership for the predictions (a prediction describes the lagger's
+// own contribution).
+func unpackFlush(pkt []amba.Word, outIRQMask, predIRQMask uint32) ([]Entry, error) {
+	if len(pkt) == 0 {
+		return nil, fmt.Errorf("core: empty flush packet")
+	}
+	n := int(pkt[0])
+	if n < 1 {
+		return nil, fmt.Errorf("core: flush packet with %d entries", n)
+	}
+	rest := pkt[1:]
+	entries := make([]Entry, 0, n)
+	var err error
+	for i := 0; i < n; i++ {
+		var e Entry
+		e.Out, rest, err = amba.Unpack(rest, outIRQMask)
+		if err != nil {
+			return nil, fmt.Errorf("core: flush entry %d out: %w", i, err)
+		}
+		if i < n-1 {
+			e.HasPred = true
+			e.Pred, rest, err = amba.Unpack(rest, predIRQMask)
+			if err != nil {
+				return nil, fmt.Errorf("core: flush entry %d pred: %w", i, err)
+			}
+		}
+		entries = append(entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("core: flush packet has %d trailing words", len(rest))
+	}
+	return entries, nil
+}
+
+// packReport encodes a follow-up report: success (all predictions held,
+// actual is the lagger contribution for the final entry) or failure at
+// index idx (actual is the lagger contribution for that cycle).
+func packReport(success bool, idx int, actual amba.PartialState) []amba.Word {
+	status := reportSuccess
+	if !success {
+		status = amba.Word(idx)
+	}
+	out := make([]amba.Word, 0, 8)
+	out = append(out, status)
+	return actual.Pack(out)
+}
+
+// unpackReport decodes a report packet.
+func unpackReport(pkt []amba.Word, irqMask uint32) (success bool, idx int, actual amba.PartialState, err error) {
+	if len(pkt) == 0 {
+		return false, 0, amba.PartialState{}, fmt.Errorf("core: empty report packet")
+	}
+	status := pkt[0]
+	actual, rest, err := amba.Unpack(pkt[1:], irqMask)
+	if err != nil {
+		return false, 0, amba.PartialState{}, fmt.Errorf("core: report payload: %w", err)
+	}
+	if len(rest) != 0 {
+		return false, 0, amba.PartialState{}, fmt.Errorf("core: report packet has %d trailing words", len(rest))
+	}
+	if status == reportSuccess {
+		return true, 0, actual, nil
+	}
+	return false, int(status), actual, nil
+}

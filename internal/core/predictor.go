@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"coemu/internal/amba"
+	"coemu/internal/bus"
+	"coemu/internal/predict"
+)
+
+// remotePredictor composes the paper's §3 predictors into a single
+// predictor of the other domain's per-cycle contribution:
+//
+//   - bus requests and interrupt lines: last-value,
+//   - address/control of a remotely-granted master: burst continuation
+//     (one tracker per remote master),
+//   - responses of a remote active slave: producer-consumer wait model
+//     (one per remote slave, configured with its nominal profile),
+//   - default-slave replies (when owned remotely): a two-cycle ERROR
+//     mirror,
+//   - read data and remote write data: never predicted — Predict
+//     declines, forcing the channel wrapper to synchronize, which is how
+//     the "data source leads" rule emerges.
+//
+// The predictor advances exclusively through Observe calls, one per
+// committed cycle, regardless of whether the committed remote values
+// were real or predicted. Predict itself is pure. That discipline makes
+// roll-forth replay trivially consistent: restore, then re-Observe.
+type remotePredictor struct {
+	b *bus.Bus
+
+	remoteReqMask   uint32
+	remoteIRQMask   uint32
+	remoteSplitMask uint32
+	ownsDefault     bool
+	// coupleReq derives the granted remote master's request bit from
+	// its predicted address phase instead of last-value (enabled with
+	// the burst-start extension, whose boundary cycles otherwise
+	// mispredict on the request-line blip between bursts).
+	coupleReq bool
+
+	req      predict.LastValue
+	irq      predict.LastValue
+	trackers map[int]*predict.BurstTracker // per remote master
+	waits    map[int]*predict.WaitModel    // per remote slave
+	defErr   defMirror
+
+	lastValid bool
+	lastFull  amba.CycleState
+
+	pendingDP
+}
+
+// defMirror predicts the two-cycle ERROR sequence of a remotely-owned
+// default slave.
+type defMirror struct {
+	InErr bool
+}
+
+// Predict returns the reply the remote default slave will drive.
+func (m *defMirror) Predict() amba.SlaveReply {
+	if m.InErr {
+		return amba.SlaveReply{Ready: true, Resp: amba.RespError}
+	}
+	return amba.SlaveReply{Ready: false, Resp: amba.RespError}
+}
+
+// Observe aligns the mirror with an actual default-slave reply.
+func (m *defMirror) Observe(r amba.SlaveReply) {
+	m.InErr = r.Resp == amba.RespError && !r.Ready
+}
+
+// predictorOptions carries the extension knobs into the tracker setup.
+type predictorOptions struct {
+	Idle   bool // predict idle continuation
+	Starts bool // predict burst starts by stride
+}
+
+// newRemotePredictor builds the composite for a domain whose half-bus is
+// b. waitProfiles maps global slave indexes of *remote* slaves to their
+// nominal (first, next) wait profile.
+func newRemotePredictor(b *bus.Bus, ownsDefault bool, waitProfiles map[int][2]int, opts predictorOptions) *remotePredictor {
+	p := &remotePredictor{
+		b:             b,
+		remoteReqMask: ^b.LocalReqMask() & ((1 << uint(b.Masters())) - 1),
+		ownsDefault:   ownsDefault,
+		trackers:      make(map[int]*predict.BurstTracker),
+		waits:         make(map[int]*predict.WaitModel),
+	}
+	p.coupleReq = opts.Starts
+	for i := 0; i < b.Masters(); i++ {
+		if !b.MasterLocal(i) {
+			p.trackers[i] = &predict.BurstTracker{PredictIdle: opts.Idle, PredictStarts: opts.Starts}
+		}
+	}
+	for idx, prof := range waitProfiles {
+		p.waits[idx] = predict.NewWaitModel(prof[0], prof[1])
+	}
+	return p
+}
+
+// setRemoteIRQMask declares which interrupt lines arrive from the remote
+// domain.
+func (p *remotePredictor) setRemoteIRQMask(m uint32) { p.remoteIRQMask = m }
+
+// setRemoteSplitMask declares which HSPLITx lines the remote domain's
+// slaves drive.
+func (p *remotePredictor) setRemoteSplitMask(m uint32) { p.remoteSplitMask = m }
+
+// DeclineReason explains why the leader cannot run ahead this cycle; it
+// feeds the engine's diagnostics.
+type DeclineReason string
+
+// Decline reasons. Empty means "can predict".
+const (
+	DeclineNone       DeclineReason = ""
+	DeclineBurstStart DeclineReason = "remote master at unpredictable burst boundary"
+	DeclineReadData   DeclineReason = "read data from remote slave"
+	DeclineWriteData  DeclineReason = "write data from remote master"
+	DeclineNoModel    DeclineReason = "no wait model for remote slave"
+)
+
+// Predict computes the predicted remote contribution for the upcoming
+// cycle. It is pure: calling it any number of times between Observes
+// returns the same value.
+func (p *remotePredictor) Predict() (amba.PartialState, DeclineReason) {
+	var out amba.PartialState
+	out.ReqMask = p.remoteReqMask
+	out.Req = p.req.Predict() & p.remoteReqMask
+	out.IRQMask = p.remoteIRQMask
+	out.IRQ = p.irq.Predict() & p.remoteIRQMask
+	out.SplitMask = p.remoteSplitMask
+	// HSPLITx lines are pulses; last-value prediction of a raised line
+	// would hold it high forever, so predict all-low and absorb one
+	// rollback per remote split release instead.
+	out.Split = 0
+
+	grant := p.b.Grant()
+	if !p.b.MasterLocal(grant) {
+		out.HasAP = true
+		if p.lastValid && !p.lastFull.Reply.Ready {
+			// Wait state: the remote master holds its address phase.
+			out.AP = p.lastFull.AP
+		} else {
+			ap, ok := p.trackers[grant].Predict()
+			if !ok {
+				return amba.PartialState{}, DeclineBurstStart
+			}
+			out.AP = ap
+		}
+		if p.coupleReq {
+			bit := uint32(1) << uint(grant)
+			if out.AP.Trans != amba.TransIdle {
+				out.Req |= bit & p.remoteReqMask
+			} else {
+				out.Req &^= bit
+			}
+		}
+	}
+
+	dpValid, dpAP, dpMaster, dpSlave := p.b.DataPhase()
+	if dpValid {
+		if dpAP.Write && !p.b.MasterLocal(dpMaster) {
+			return amba.PartialState{}, DeclineWriteData
+		}
+		switch {
+		case dpSlave == bus.DefaultSlaveIndex:
+			if !p.ownsDefault {
+				out.HasReply = true
+				out.Reply = p.defErr.Predict()
+			}
+		case !p.b.SlaveLocal(dpSlave):
+			if !dpAP.Write {
+				return amba.PartialState{}, DeclineReadData
+			}
+			wm := p.waits[dpSlave]
+			if wm == nil {
+				return amba.PartialState{}, DeclineNoModel
+			}
+			out.HasReply = true
+			out.Reply = amba.SlaveReply{Ready: wm.Predict(), Resp: amba.RespOkay}
+		}
+	}
+	return out, DeclineNone
+}
+
+// Observe advances the predictor with the remote contribution and full
+// merged state of a cycle the domain just committed.
+func (p *remotePredictor) Observe(full amba.CycleState, remote amba.PartialState) {
+	p.req.Observe(remote.Req & p.remoteReqMask)
+	p.irq.Observe(remote.IRQ & p.remoteIRQMask)
+
+	// Address-phase progression carries information only on ready
+	// cycles; during wait states the value is held.
+	if remote.HasAP && full.Reply.Ready {
+		p.trackers[full.Grant].Observe(remote.AP)
+	}
+
+	// The bus has already committed, so its DataPhase() now describes
+	// the NEXT cycle. The reply just observed belongs to the cycle that
+	// ended; use the data phase stashed before the commit.
+	if p.pendingDPValid {
+		if p.pendingDPSlave == bus.DefaultSlaveIndex {
+			if !p.ownsDefault {
+				p.defErr.Observe(full.Reply)
+			}
+		} else if !p.b.SlaveLocal(p.pendingDPSlave) {
+			if wm := p.waits[p.pendingDPSlave]; wm != nil {
+				wm.Observe(full.Reply.Ready)
+			}
+		}
+	}
+
+	p.lastValid = true
+	p.lastFull = full
+}
+
+// pendingDP* stash the data-phase occupancy of the cycle being
+// evaluated, captured before the bus commit advances the pipeline.
+type pendingDP struct {
+	pendingDPValid  bool
+	pendingDPSlave  int
+	pendingDPMaster int
+}
+
+// StashDataPhase records the data-phase occupancy for the cycle about to
+// commit; it must be called before the bus Commit whose Observe follows.
+func (p *remotePredictor) StashDataPhase() {
+	v, _, m, s := p.b.DataPhase()
+	p.pendingDPValid = v
+	p.pendingDPMaster = m
+	p.pendingDPSlave = s
+}
+
+// predictorSnap freezes a remotePredictor.
+type predictorSnap struct {
+	Req      any
+	IRQ      any
+	Trackers map[int]any
+	Waits    map[int]any
+	DefErr   defMirror
+	LastV    bool
+	LastFull amba.CycleState
+	Pending  pendingDP
+}
+
+// Save implements rollback.Snapshotter.
+func (p *remotePredictor) Save() any {
+	s := predictorSnap{
+		Req:      p.req.Save(),
+		IRQ:      p.irq.Save(),
+		Trackers: make(map[int]any, len(p.trackers)),
+		Waits:    make(map[int]any, len(p.waits)),
+		DefErr:   p.defErr,
+		LastV:    p.lastValid,
+		LastFull: p.lastFull,
+		Pending:  p.pendingDP,
+	}
+	for i, t := range p.trackers {
+		s.Trackers[i] = t.Save()
+	}
+	for i, w := range p.waits {
+		s.Waits[i] = w.Save()
+	}
+	return s
+}
+
+// Restore implements rollback.Snapshotter.
+func (p *remotePredictor) Restore(v any) {
+	s, ok := v.(predictorSnap)
+	if !ok {
+		panic(fmt.Sprintf("core: predictor: bad snapshot %T", v))
+	}
+	p.req.Restore(s.Req)
+	p.irq.Restore(s.IRQ)
+	for i, t := range p.trackers {
+		t.Restore(s.Trackers[i])
+	}
+	for i, w := range p.waits {
+		w.Restore(s.Waits[i])
+	}
+	p.defErr = s.DefErr
+	p.lastValid = s.LastV
+	p.lastFull = s.LastFull
+	p.pendingDP = s.Pending
+}

@@ -1,0 +1,73 @@
+package device
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIPROVECalibration(t *testing.T) {
+	s := IPROVE()
+	if got := s.Startup(); got != 12200*time.Nanosecond {
+		t.Fatalf("startup = %v, want 12.2µs", got)
+	}
+	// 100 words sim→acc = 4995 ns.
+	if got := s.WordCost(SimToAcc, 100); got != 4995*time.Nanosecond {
+		t.Fatalf("payload(100, sim->acc) = %v", got)
+	}
+	if got := s.WordCost(AccToSim, 100); got != 7573*time.Nanosecond {
+		t.Fatalf("payload(100, acc->sim) = %v", got)
+	}
+	if s.AccessCost(SimToAcc, 0) != s.Startup() {
+		t.Fatal("zero-word access must cost exactly the startup")
+	}
+}
+
+func TestStartupDominatesShortTransfers(t *testing.T) {
+	s := IPROVE()
+	// The paper's point: a 5-word transfer is almost all startup.
+	if frac := s.StartupFraction(SimToAcc, 5); frac < 0.97 {
+		t.Fatalf("startup fraction at 5 words = %v, want > 0.97", frac)
+	}
+	// Very large transfers amortize it away.
+	if frac := s.StartupFraction(SimToAcc, 100000); frac > 0.01 {
+		t.Fatalf("startup fraction at 100k words = %v, want < 0.01", frac)
+	}
+}
+
+func TestEffectiveBandwidthMonotone(t *testing.T) {
+	s := IPROVE()
+	prev := 0.0
+	for _, n := range []int{1, 2, 5, 16, 64, 256, 1024} {
+		bw := s.EffectiveBandwidth(SimToAcc, n)
+		if bw <= prev {
+			t.Fatalf("bandwidth not increasing at %d words: %g <= %g", n, bw, prev)
+		}
+		prev = bw
+	}
+	if s.EffectiveBandwidth(SimToAcc, 0) != 0 {
+		t.Fatal("zero-word bandwidth must be 0")
+	}
+}
+
+func TestAsymmetricDirections(t *testing.T) {
+	s := IPROVE()
+	if s.WordCost(AccToSim, 10) <= s.WordCost(SimToAcc, 10) {
+		t.Fatal("acc->sim must be slower per word (measured 75.73 vs 49.95 ns)")
+	}
+}
+
+func TestNegativeWordsPanics(t *testing.T) {
+	s := IPROVE()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative words must panic")
+		}
+	}()
+	s.WordCost(SimToAcc, -1)
+}
+
+func TestDirString(t *testing.T) {
+	if SimToAcc.String() != "sim->acc" || AccToSim.String() != "acc->sim" {
+		t.Fatal("direction labels wrong")
+	}
+}

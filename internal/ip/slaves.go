@@ -1,0 +1,549 @@
+package ip
+
+import (
+	"fmt"
+
+	"coemu/internal/amba"
+	"coemu/internal/bus"
+	"coemu/internal/rng"
+)
+
+// Memory is a byte-addressable memory slave with a configurable,
+// deterministic wait-state profile: the first beat of a data-phase
+// sequence costs firstWait cycles, subsequent back-to-back beats cost
+// nextWait. With both zero it behaves as a zero-wait SRAM; with
+// firstWait > nextWait it approximates an SDRAM row hit/miss pattern.
+//
+// Deterministic wait profiles are what makes slave responses
+// "predictable" in the paper's sense: the leader-side response predictor
+// runs the same producer-consumer model and stays at 100 % accuracy.
+type Memory struct {
+	name      string
+	firstWait int
+	nextWait  int
+
+	mem      map[amba.Addr]byte
+	waitLeft int
+	inBurst  bool
+	reads    int64
+	writes   int64
+
+	// Journal mode: instead of deep-copying the byte map on every Save
+	// (O(footprint)), record an undo entry per overwritten byte and
+	// rewind on Restore (O(bytes written since the save)). The leader
+	// snapshots once per transition, so this is the difference between
+	// O(memory) and O(transition) work per transition on the host.
+	journaling bool
+	journal    []undoByte
+	saveSeq    uint64
+}
+
+// undoByte is one journal entry: the previous content of a byte cell.
+type undoByte struct {
+	Addr    amba.Addr
+	Old     byte
+	Existed bool
+}
+
+// Journaler is implemented by components supporting O(1) snapshots via
+// undo journaling. Journal mode restricts the snapshot discipline: only
+// the most recent Save may be restored (exactly the leader's rollback
+// pattern).
+type Journaler interface {
+	SetJournaling(bool)
+}
+
+var _ bus.Slave = (*Memory)(nil)
+
+// NewMemory creates a memory slave.
+func NewMemory(name string, firstWait, nextWait int) *Memory {
+	if firstWait < 0 || nextWait < 0 {
+		panic("ip: negative wait states")
+	}
+	return &Memory{
+		name:      name,
+		firstWait: firstWait,
+		nextWait:  nextWait,
+		mem:       make(map[amba.Addr]byte),
+		waitLeft:  -1,
+	}
+}
+
+// NewSRAM creates a zero-wait memory.
+func NewSRAM(name string) *Memory { return NewMemory(name, 0, 0) }
+
+// Name implements bus.Slave.
+func (s *Memory) Name() string { return s.name }
+
+// Stats returns completed read and write beats.
+func (s *Memory) Stats() (reads, writes int64) { return s.reads, s.writes }
+
+// Poke writes one byte directly, for test setup.
+func (s *Memory) Poke(a amba.Addr, b byte) { s.mem[a] = b }
+
+// Peek reads one byte directly, for test inspection.
+func (s *Memory) Peek(a amba.Addr) byte { return s.mem[a] }
+
+// PokeWord writes a 32-bit word at a word-aligned address.
+func (s *Memory) PokeWord(a amba.Addr, w amba.Word) {
+	a &^= 3
+	for i := 0; i < 4; i++ {
+		s.mem[a+amba.Addr(i)] = byte(w >> (8 * uint(i)))
+	}
+}
+
+// PeekWord reads a 32-bit word at a word-aligned address.
+func (s *Memory) PeekWord(a amba.Addr) amba.Word {
+	a &^= 3
+	var w amba.Word
+	for i := 0; i < 4; i++ {
+		w |= amba.Word(s.mem[a+amba.Addr(i)]) << (8 * uint(i))
+	}
+	return w
+}
+
+// waits returns the wait-state budget for a new beat.
+func (s *Memory) waits() int {
+	if s.inBurst {
+		return s.nextWait
+	}
+	return s.firstWait
+}
+
+// Respond implements bus.Slave. The reply is a function of the slave's
+// own state only (never of write data), which is what makes leader-side
+// response prediction sound.
+func (s *Memory) Respond(ap amba.AddrPhase) amba.SlaveReply {
+	if s.waitLeft < 0 {
+		s.waitLeft = s.waits()
+	}
+	if s.waitLeft > 0 {
+		s.waitLeft--
+		return amba.SlaveReply{Ready: false, Resp: amba.RespOkay}
+	}
+	// Beat completes this cycle.
+	reply := amba.SlaveReply{Ready: true, Resp: amba.RespOkay}
+	if ap.Write {
+		s.writes++
+	} else {
+		reply.RData = ExtractLanes(s.PeekWord(ap.Addr&^3), ap.Addr, ap.Size)
+		s.reads++
+	}
+	return reply
+}
+
+// WriteCommit implements bus.Slave: the completing write beat's data
+// lands in memory at the clock edge.
+func (s *Memory) WriteCommit(ap amba.AddrPhase, wdata amba.Word) {
+	base := ap.Addr &^ 3
+	m := laneMask(ap.Addr, ap.Size)
+	for i := 0; i < 4; i++ {
+		if m&(0xff<<(8*uint(i))) != 0 {
+			a := base + amba.Addr(i)
+			if s.journaling {
+				old, existed := s.mem[a]
+				s.journal = append(s.journal, undoByte{Addr: a, Old: old, Existed: existed})
+			}
+			s.mem[a] = byte(wdata >> (8 * uint(i)))
+		}
+	}
+}
+
+// SetJournaling implements Journaler.
+func (s *Memory) SetJournaling(on bool) {
+	s.journaling = on
+	s.journal = s.journal[:0]
+}
+
+// Commit implements bus.Slave.
+func (s *Memory) Commit(ready bool) {
+	if ready {
+		s.waitLeft = -1
+		s.inBurst = true
+	}
+}
+
+// TickIdle informs the memory that a cycle passed with no beat addressed
+// to it, ending any back-to-back sequence. The bus does not call Commit
+// on idle slaves, so the engine (or the memory's own heuristic) resets
+// burst affinity lazily: the simplest correct model keeps inBurst sticky
+// within a data-phase run; Reset clears it.
+func (s *Memory) TickIdle() { s.inBurst = false }
+
+// memorySnap freezes a Memory. In journal mode Mem is nil and Seq pins
+// the snapshot to the most recent Save.
+type memorySnap struct {
+	Mem      map[amba.Addr]byte
+	Seq      uint64
+	WaitLeft int
+	InBurst  bool
+	Reads    int64
+	Writes   int64
+}
+
+// Save implements rollback.Snapshotter.
+func (s *Memory) Save() any {
+	snap := memorySnap{WaitLeft: s.waitLeft, InBurst: s.inBurst, Reads: s.reads, Writes: s.writes}
+	if s.journaling {
+		s.journal = s.journal[:0]
+		s.saveSeq++
+		snap.Seq = s.saveSeq
+		return snap
+	}
+	cp := make(map[amba.Addr]byte, len(s.mem))
+	for k, v := range s.mem {
+		cp[k] = v
+	}
+	snap.Mem = cp
+	return snap
+}
+
+// Restore implements rollback.Snapshotter.
+func (s *Memory) Restore(v any) {
+	snap, ok := v.(memorySnap)
+	if !ok {
+		panic(fmt.Sprintf("ip: memory %s: bad snapshot %T", s.name, v))
+	}
+	if s.journaling {
+		if snap.Seq != s.saveSeq {
+			panic(fmt.Sprintf("ip: memory %s: journal restore of stale snapshot (seq %d, current %d)",
+				s.name, snap.Seq, s.saveSeq))
+		}
+		for i := len(s.journal) - 1; i >= 0; i-- {
+			u := s.journal[i]
+			if u.Existed {
+				s.mem[u.Addr] = u.Old
+			} else {
+				delete(s.mem, u.Addr)
+			}
+		}
+		s.journal = s.journal[:0]
+	} else {
+		s.mem = make(map[amba.Addr]byte, len(snap.Mem))
+		for k, b := range snap.Mem {
+			s.mem[k] = b
+		}
+	}
+	s.waitLeft = snap.WaitLeft
+	s.inBurst = snap.InBurst
+	s.reads = snap.Reads
+	s.writes = snap.Writes
+}
+
+// JitterMemory is a memory whose per-beat wait states vary pseudo-
+// randomly in [base, base+spread]. Its latency cannot be tracked by a
+// static producer-consumer model, so leader-side response predictions
+// genuinely miss — the component used to induce organic rollbacks.
+type JitterMemory struct {
+	Memory
+	rng    *rng.Source
+	spread int
+}
+
+// NewJitterMemory creates a jittery memory with the given base wait
+// count, jitter spread and PRNG seed.
+func NewJitterMemory(name string, base, spread int, seed uint64) *JitterMemory {
+	if spread <= 0 {
+		panic("ip: jitter spread must be positive")
+	}
+	j := &JitterMemory{rng: rng.New(seed), spread: spread}
+	j.Memory = *NewMemory(name, base, base)
+	return j
+}
+
+// Respond implements bus.Slave, rolling fresh jitter for each new beat.
+func (j *JitterMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
+	if j.waitLeft < 0 {
+		j.waitLeft = j.firstWait + j.rng.Intn(j.spread+1)
+	}
+	return j.Memory.Respond(ap)
+}
+
+// jitterSnap composes the memory snapshot with the PRNG state.
+type jitterSnap struct {
+	Mem any
+	Rng any
+}
+
+// Save implements rollback.Snapshotter.
+func (j *JitterMemory) Save() any {
+	return jitterSnap{Mem: j.Memory.Save(), Rng: j.rng.Save()}
+}
+
+// Restore implements rollback.Snapshotter.
+func (j *JitterMemory) Restore(v any) {
+	s, ok := v.(jitterSnap)
+	if !ok {
+		panic(fmt.Sprintf("ip: jitter memory: bad snapshot %T", v))
+	}
+	j.Memory.Restore(s.Mem)
+	j.rng.Restore(s.Rng)
+}
+
+// ErrorSlave responds to every active beat with a two-cycle ERROR, the
+// behavior of the AHB default slave, packaged as a mappable component.
+type ErrorSlave struct {
+	name   string
+	second bool
+	errors int64
+}
+
+var _ bus.Slave = (*ErrorSlave)(nil)
+
+// NewErrorSlave creates an always-erroring slave.
+func NewErrorSlave(name string) *ErrorSlave { return &ErrorSlave{name: name} }
+
+// Name implements bus.Slave.
+func (e *ErrorSlave) Name() string { return e.name }
+
+// Errors returns the number of ERROR responses issued (counted once per
+// two-cycle response).
+func (e *ErrorSlave) Errors() int64 { return e.errors }
+
+// Respond implements bus.Slave.
+func (e *ErrorSlave) Respond(amba.AddrPhase) amba.SlaveReply {
+	if e.second {
+		return amba.SlaveReply{Ready: true, Resp: amba.RespError}
+	}
+	e.errors++
+	return amba.SlaveReply{Ready: false, Resp: amba.RespError}
+}
+
+// WriteCommit implements bus.Slave; erroring beats never commit data.
+func (e *ErrorSlave) WriteCommit(amba.AddrPhase, amba.Word) {}
+
+// Commit implements bus.Slave.
+func (e *ErrorSlave) Commit(ready bool) { e.second = !ready }
+
+// Save implements rollback.Snapshotter.
+func (e *ErrorSlave) Save() any { return *e }
+
+// Restore implements rollback.Snapshotter.
+func (e *ErrorSlave) Restore(v any) {
+	s, ok := v.(ErrorSlave)
+	if !ok {
+		panic(fmt.Sprintf("ip: error slave: bad snapshot %T", v))
+	}
+	name := e.name
+	*e = s
+	e.name = name
+}
+
+// RetryMemory wraps a Memory and issues a two-cycle RETRY for the first
+// attempt of every retryEvery-th beat, forcing masters through the
+// retry/reissue path.
+type RetryMemory struct {
+	Memory
+	retryEvery int
+	beatCount  int64
+	retryPhase int // 0 none, 1 first RETRY cycle issued
+	retryDone  bool
+	retries    int64
+}
+
+var _ bus.Slave = (*RetryMemory)(nil)
+
+// NewRetryMemory creates a retrying memory; retryEvery must be >= 1.
+func NewRetryMemory(name string, waits, retryEvery int) *RetryMemory {
+	if retryEvery < 1 {
+		panic("ip: retryEvery must be >= 1")
+	}
+	r := &RetryMemory{retryEvery: retryEvery}
+	r.Memory = *NewMemory(name, waits, waits)
+	return r
+}
+
+// Retries returns how many RETRY sequences were issued.
+func (r *RetryMemory) Retries() int64 { return r.retries }
+
+// Respond implements bus.Slave.
+func (r *RetryMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
+	if r.retryPhase == 1 {
+		return amba.SlaveReply{Ready: true, Resp: amba.RespRetry}
+	}
+	if !r.retryDone && (r.beatCount+1)%int64(r.retryEvery) == 0 {
+		r.retries++
+		r.retryPhase = 1
+		return amba.SlaveReply{Ready: false, Resp: amba.RespRetry}
+	}
+	return r.Memory.Respond(ap)
+}
+
+// Commit implements bus.Slave.
+func (r *RetryMemory) Commit(ready bool) {
+	if r.retryPhase == 1 {
+		if ready {
+			// RETRY sequence finished; the retried beat will come back
+			// and must then be accepted.
+			r.retryPhase = 0
+			r.retryDone = true
+		}
+		return
+	}
+	if ready {
+		r.beatCount++
+		r.retryDone = false
+	}
+	r.Memory.Commit(ready)
+}
+
+// SplitMemory is a memory that answers every splitEvery-th beat with a
+// two-cycle SPLIT response, releasing the split-masked master via its
+// HSPLITx line releaseAfter cycles later — modeling a slave that parks
+// long-latency requests and frees the bus meanwhile (AHB §3.12).
+type SplitMemory struct {
+	Memory
+	splitEvery   int
+	releaseAfter int
+
+	beatCount     int64
+	phase         int // 0 none, 1 first SPLIT cycle issued
+	splitDone     bool
+	pendingMaster int
+	countdown     int // -1 idle
+	release       uint32
+	splits        int64
+}
+
+var (
+	_ bus.Slave         = (*SplitMemory)(nil)
+	_ bus.SplitSource   = (*SplitMemory)(nil)
+	_ bus.SplitNotifiee = (*SplitMemory)(nil)
+)
+
+// NewSplitMemory creates a splitting memory; splitEvery >= 1,
+// releaseAfter >= 0 (0 releases on the very next cycle).
+func NewSplitMemory(name string, waits, splitEvery, releaseAfter int) *SplitMemory {
+	if splitEvery < 1 {
+		panic("ip: splitEvery must be >= 1")
+	}
+	if releaseAfter < 0 {
+		panic("ip: negative releaseAfter")
+	}
+	s := &SplitMemory{splitEvery: splitEvery, releaseAfter: releaseAfter, countdown: -1}
+	s.Memory = *NewMemory(name, waits, waits)
+	return s
+}
+
+// Splits returns how many SPLIT responses were issued.
+func (s *SplitMemory) Splits() int64 { return s.splits }
+
+// Respond implements bus.Slave.
+func (s *SplitMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
+	if s.phase == 1 {
+		return amba.SlaveReply{Ready: true, Resp: amba.RespSplit}
+	}
+	if !s.splitDone && (s.beatCount+1)%int64(s.splitEvery) == 0 {
+		s.splits++
+		s.phase = 1
+		return amba.SlaveReply{Ready: false, Resp: amba.RespSplit}
+	}
+	return s.Memory.Respond(ap)
+}
+
+// Commit implements bus.Slave.
+func (s *SplitMemory) Commit(ready bool) {
+	if s.phase == 1 {
+		if ready {
+			s.phase = 0
+			s.splitDone = true
+		}
+		return
+	}
+	if ready {
+		s.beatCount++
+		s.splitDone = false
+	}
+	s.Memory.Commit(ready)
+}
+
+// NotifySplit implements bus.SplitNotifiee: remember whom to release.
+func (s *SplitMemory) NotifySplit(master int) {
+	s.pendingMaster = master
+	s.countdown = s.releaseAfter
+}
+
+// Tick implements sim.Clocked: the release countdown runs on the target
+// clock regardless of bus activity.
+func (s *SplitMemory) Tick(int64) {
+	switch {
+	case s.countdown < 0:
+	case s.countdown == 0:
+		s.release |= 1 << uint(s.pendingMaster)
+		s.countdown = -1
+	default:
+		s.countdown--
+	}
+}
+
+// SplitRelease implements bus.SplitSource: raised lines are consumed by
+// the one bus Evaluate of the cycle.
+func (s *SplitMemory) SplitRelease() uint32 {
+	r := s.release
+	s.release = 0
+	return r
+}
+
+// splitSnap composes the memory snapshot with split bookkeeping.
+type splitSnap struct {
+	Mem           any
+	BeatCount     int64
+	Phase         int
+	SplitDone     bool
+	PendingMaster int
+	Countdown     int
+	Release       uint32
+	Splits        int64
+}
+
+// Save implements rollback.Snapshotter.
+func (s *SplitMemory) Save() any {
+	return splitSnap{
+		Mem: s.Memory.Save(), BeatCount: s.beatCount, Phase: s.phase,
+		SplitDone: s.splitDone, PendingMaster: s.pendingMaster,
+		Countdown: s.countdown, Release: s.release, Splits: s.splits,
+	}
+}
+
+// Restore implements rollback.Snapshotter.
+func (s *SplitMemory) Restore(v any) {
+	snap, ok := v.(splitSnap)
+	if !ok {
+		panic(fmt.Sprintf("ip: split memory: bad snapshot %T", v))
+	}
+	s.Memory.Restore(snap.Mem)
+	s.beatCount = snap.BeatCount
+	s.phase = snap.Phase
+	s.splitDone = snap.SplitDone
+	s.pendingMaster = snap.PendingMaster
+	s.countdown = snap.Countdown
+	s.release = snap.Release
+	s.splits = snap.Splits
+}
+
+// retrySnap composes the memory snapshot with retry bookkeeping.
+type retrySnap struct {
+	Mem        any
+	BeatCount  int64
+	RetryPhase int
+	RetryDone  bool
+	Retries    int64
+}
+
+// Save implements rollback.Snapshotter.
+func (r *RetryMemory) Save() any {
+	return retrySnap{Mem: r.Memory.Save(), BeatCount: r.beatCount, RetryPhase: r.retryPhase, RetryDone: r.retryDone, Retries: r.retries}
+}
+
+// Restore implements rollback.Snapshotter.
+func (r *RetryMemory) Restore(v any) {
+	s, ok := v.(retrySnap)
+	if !ok {
+		panic(fmt.Sprintf("ip: retry memory: bad snapshot %T", v))
+	}
+	r.Memory.Restore(s.Mem)
+	r.beatCount = s.BeatCount
+	r.retryPhase = s.RetryPhase
+	r.retryDone = s.RetryDone
+	r.retries = s.Retries
+}

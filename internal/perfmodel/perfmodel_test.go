@@ -1,0 +1,209 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s = %g, want 0", name, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+		t.Errorf("%s = %g, want %g (±%.0f%%), off by %.1f%%", name, got, want, tol*100, rel*100)
+	}
+}
+
+func TestConventionalBaselines(t *testing.T) {
+	p := Default()
+	// Paper: 38.9 kcycles/s at a 1,000 kcycles/s simulator.
+	within(t, "conventional@1000k", p.Conventional(), 38.9e3, 0.01)
+	p.SimSpeed = 1e5
+	// Paper: 28.8 kcycles/s at a 100 kcycles/s simulator.
+	within(t, "conventional@100k", p.Conventional(), 28.8e3, 0.01)
+}
+
+// paperTable2 holds the published rows.
+var paperTable2 = []struct {
+	p                        float64
+	tacc, tstore, trest, tch float64
+	perf                     float64
+	ratio                    float64
+}{
+	{1.000, 1.0e-7, 4.69e-10, 0, 4.3e-7, 652e3, 16.75},
+	{0.990, 1.6e-7, 7.6e-10, 2.9e-10, 6.8e-7, 543e3, 13.97},
+	{0.960, 2.9e-7, 1.6e-9, 1.2e-9, 1.5e-6, 363e3, 9.33},
+	{0.900, 4.9e-7, 3.3e-9, 2.9e-9, 2.9e-6, 226e3, 5.80},
+	{0.800, 8.1e-7, 6.2e-9, 5.7e-9, 5.4e-6, 138e3, 3.56},
+	{0.600, 1.5e-6, 1.2e-8, 1.2e-8, 1.1e-5, 76.7e3, 1.91},
+	{0.300, 2.4e-6, 2.1e-8, 2.0e-8, 1.8e-5, 46.1e3, 1.19},
+	{0.100, 3.0e-6, 2.7e-8, 2.6e-8, 2.3e-5, 36.7e3, 0.94},
+}
+
+func TestTable2AgainstPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != len(paperTable2) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, want := range paperTable2 {
+		got := rows[i]
+		if got.P != want.p {
+			t.Fatalf("row %d accuracy %v", i, got.P)
+		}
+		// Tsim is 1e-6 in every published row: the lagger (simulator)
+		// evaluates each committed cycle exactly once.
+		within(t, "Tsim", got.Tsim, 1e-6, 0.001)
+		// Leader-work accounting differs from the paper's unpublished
+		// formula by up to ~25% in the mid-range; everything else
+		// lands within ~15%.
+		within(t, "Tacc", got.Tacc, want.tacc, 0.30)
+		within(t, "Tstore", got.Tstore, want.tstore, 0.25)
+		within(t, "Trestore", got.Trestore, want.trest, 0.25)
+		within(t, "Tch", got.Tch, want.tch, 0.15)
+		within(t, "Perf", got.Perf, want.perf, 0.10)
+		within(t, "Ratio", got.Ratio, want.ratio, 0.10)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2()
+	// Performance decreases monotonically as accuracy drops.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Perf >= rows[i-1].Perf {
+			t.Fatalf("performance not monotone at p=%v", rows[i].P)
+		}
+	}
+	// The paper's crossover: ALS beats conventional down to somewhere
+	// between 30% and 10% accuracy.
+	if rows[6].Ratio <= 1 { // p=0.3
+		t.Fatalf("ratio at p=0.3 = %v, want > 1", rows[6].Ratio)
+	}
+	if rows[7].Ratio >= 1 { // p=0.1
+		t.Fatalf("ratio at p=0.1 = %v, want < 1", rows[7].Ratio)
+	}
+}
+
+func TestHeadlineGain(t *testing.T) {
+	// Abstract: "a performance gain of 1500%" at perfect prediction.
+	g := HeadlineGain()
+	if g < 1400 || g > 1700 {
+		t.Fatalf("headline gain = %.0f%%, want ~1500%%", g)
+	}
+}
+
+func TestSLAClaims(t *testing.T) {
+	res := SLA()
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	// Paper: maximum gains 3.25 (100 kcyc/s) and 15.34 (1,000 kcyc/s).
+	within(t, "SLA max gain @100k", res[0].MaxGain, 3.25, 0.03)
+	within(t, "SLA max gain @1000k", res[1].MaxGain, 15.34, 0.03)
+	// Paper: break-even at 98% and 70% accuracy. The reconstructed
+	// model places them in the right order with the right separation;
+	// the absolute positions land within a few points.
+	if res[0].BreakEven < 0.85 || res[0].BreakEven > 0.99 {
+		t.Errorf("SLA break-even @100k = %v, want near 0.98", res[0].BreakEven)
+	}
+	if res[1].BreakEven < 0.55 || res[1].BreakEven > 0.80 {
+		t.Errorf("SLA break-even @1000k = %v, want near 0.70", res[1].BreakEven)
+	}
+	if res[0].BreakEven <= res[1].BreakEven {
+		t.Error("slower simulator must need higher accuracy to break even")
+	}
+}
+
+func TestSLAWorseThanALSAtLowAccuracy(t *testing.T) {
+	// §6: "SLA suffers more from low prediction accuracies" because the
+	// leader's per-cycle cost dominates.
+	p := Default()
+	for _, acc := range []float64{0.6, 0.3, 0.1} {
+		als := p.Optimistic(LeaderAcc, acc).Ratio
+		sla := p.Optimistic(LeaderSim, acc).Ratio
+		if sla >= als {
+			t.Errorf("at p=%v SLA ratio %.2f >= ALS ratio %.2f", acc, sla, als)
+		}
+	}
+}
+
+func TestFigure4Properties(t *testing.T) {
+	series := Figure4()
+	if len(series) != 4 {
+		t.Fatalf("%d series", len(series))
+	}
+	byLabel := map[string]Figure4Series{}
+	for _, s := range series {
+		byLabel[s.Config.Label()] = s
+		// Every series is monotone in accuracy.
+		for i := 1; i < len(s.Rows); i++ {
+			if s.Rows[i].Perf >= s.Rows[i-1].Perf {
+				t.Errorf("%s: not monotone at p=%v", s.Config.Label(), s.Rows[i].P)
+			}
+		}
+	}
+	deep100 := byLabel["Sim=100k, LOBdepth=64"]
+	shallow100 := byLabel["Sim=100k, LOBdepth=8"]
+	deep1000 := byLabel["Sim=1000k, LOBdepth=64"]
+	shallow1000 := byLabel["Sim=1000k, LOBdepth=8"]
+	// At perfect accuracy a deeper LOB also wins at the slower simulator.
+	if deep100.Rows[0].Perf <= shallow100.Rows[0].Perf {
+		t.Error("deep LOB must win at perfect accuracy (100k simulator)")
+	}
+
+	// "The bigger the simulator performance gets, we get the more
+	// performance gain": at high accuracy the 1000k curves dominate.
+	if deep1000.Rows[0].Perf <= deep100.Rows[0].Perf {
+		t.Error("faster simulator must yield higher peak performance")
+	}
+	// "LOB depth ... tends to accelerate the performance gain ... when
+	// the prediction accuracy is high":
+	if deep1000.Rows[0].Perf <= shallow1000.Rows[0].Perf {
+		t.Error("deep LOB must win at perfect accuracy")
+	}
+	// "On the other hand, it degrades the performance gain when the
+	// prediction accuracy is low": at p=0.1 the shallow LOB wins.
+	last := len(deep1000.Rows) - 1
+	if deep1000.Rows[last].Perf >= shallow1000.Rows[last].Perf {
+		t.Error("shallow LOB must win at 10% accuracy")
+	}
+	// Conventional baselines match the figure's annotations.
+	within(t, "conv line @100k", deep100.Conventional, 28.8e3, 0.01)
+	within(t, "conv line @1000k", deep1000.Conventional, 38.9e3, 0.01)
+}
+
+func TestBreakEvenBisection(t *testing.T) {
+	p := Default()
+	be := p.BreakEven(LeaderAcc)
+	if be <= 0 || be >= 0.35 {
+		t.Fatalf("ALS break-even = %v, want in (0, 0.35) per Table 2's 0.94 ratio at p=0.1", be)
+	}
+	r := p.Optimistic(LeaderAcc, be)
+	within(t, "ratio at break-even", r.Ratio, 1.0, 0.01)
+}
+
+func TestOptimisticPanicsOnBadAccuracy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accuracy out of range must panic")
+		}
+	}()
+	Default().Optimistic(LeaderAcc, 1.5)
+}
+
+func TestRowTotal(t *testing.T) {
+	r := Default().Optimistic(LeaderAcc, 0.9)
+	sum := r.Tsim + r.Tacc + r.Tstore + r.Trestore + r.Tch
+	within(t, "Total", r.Total(), sum, 1e-12)
+	within(t, "Perf inverse", r.Perf, 1/sum, 1e-9)
+}
+
+func TestLeaderString(t *testing.T) {
+	if LeaderAcc.String() != "ALS" || LeaderSim.String() != "SLA" {
+		t.Fatal("leader names")
+	}
+}

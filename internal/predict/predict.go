@@ -1,0 +1,314 @@
+// Package predict implements the signal predictors of the paper's §3:
+//
+//   - address/control of the active bus master: burst continuation
+//     ("their values either increase linearly over time or remain
+//     constant throughout a single burst transaction"),
+//   - responses of the active bus slave: a producer-consumer wait-state
+//     model,
+//   - arbitration requests and interrupt lines: last-value prediction,
+//
+// plus a fault injector used by the evaluation harness to pin prediction
+// accuracy to an exact probability, the way the paper's Table 2 and
+// Figure 4 sweep it.
+//
+// Read data and write data are deliberately absent: the paper classifies
+// them as non-predictable, and the scheme instead chooses the data
+// *source* domain as leader so data only flows leader→lagger.
+package predict
+
+import (
+	"fmt"
+
+	"coemu/internal/amba"
+	"coemu/internal/rng"
+)
+
+// LastValue predicts a bitmask signal group (bus requests, interrupt
+// lines) as "same as last observed". In SoC designs where data flows in
+// long bursts, "the arbitration result tends to change only occasionally
+// and we can effectively predict its value from its previous one" (§3).
+type LastValue struct {
+	v uint32
+}
+
+// Predict returns the predicted value.
+func (l *LastValue) Predict() uint32 { return l.v }
+
+// Observe records the actual value.
+func (l *LastValue) Observe(v uint32) { l.v = v }
+
+// Save implements rollback.Snapshotter.
+func (l *LastValue) Save() any { return l.v }
+
+// Restore implements rollback.Snapshotter.
+func (l *LastValue) Restore(s any) {
+	v, ok := s.(uint32)
+	if !ok {
+		panic(fmt.Sprintf("predict: lastvalue: bad snapshot %T", s))
+	}
+	l.v = v
+}
+
+// BurstTracker predicts the address/control signals of a remote bus
+// master by extrapolating its current burst. A prediction is only
+// offered mid-burst; at burst boundaries the tracker declines (the
+// start-of-burst values must genuinely cross the channel) — unless the
+// extensions below are enabled.
+//
+// Extensions beyond the paper:
+//
+//   - PredictIdle: an idle master is predicted to stay idle, letting the
+//     leader run ahead through bus-idle stretches at the cost of one
+//     rollback whenever the master wakes up.
+//   - PredictStarts: after a burst completes, the next burst's start is
+//     predicted by stride extrapolation over observed NONSEQ addresses,
+//     letting streaming leaders run ahead across burst boundaries.
+type BurstTracker struct {
+	// PredictIdle predicts IDLE continuation for an idle master.
+	PredictIdle bool
+	// PredictStarts predicts the next NONSEQ by stride extrapolation.
+	PredictStarts bool
+
+	st burstState
+}
+
+type burstState struct {
+	Valid     bool
+	Last      amba.AddrPhase
+	Remaining int // beats after Last; -1 = INCR (unbounded)
+
+	// Stride extrapolation over burst starts.
+	LastStart amba.AddrPhase
+	HasStart  bool
+	Stride    amba.Addr
+	HasStride bool
+
+	// Inter-burst gap tracking: how many IDLE cycles the master spends
+	// between the last beat of a burst and the next NONSEQ.
+	Ended   bool // a burst completed; counting the idle run
+	IdleRun int
+	GapLen  int
+	HasGap  bool
+}
+
+// Observe feeds the actual address phase driven by the tracked master on
+// a cycle whose HREADY was high (phases only advance on ready cycles;
+// during wait states the held value carries no new information).
+func (t *BurstTracker) Observe(ap amba.AddrPhase) {
+	switch ap.Trans {
+	case amba.TransNonSeq:
+		t.st.Valid = true
+		t.st.Last = ap
+		if beats := ap.Burst.Beats(); beats > 0 {
+			t.st.Remaining = beats - 1
+		} else {
+			t.st.Remaining = -1
+		}
+		if t.st.HasStart {
+			// Last-stride predictor: one inter-start distance is
+			// enough; a changed stride self-corrects after the
+			// rollback the change causes.
+			t.st.Stride = ap.Addr - t.st.LastStart.Addr
+			t.st.HasStride = true
+		}
+		t.st.LastStart = ap
+		t.st.HasStart = true
+		if t.st.Ended {
+			t.st.GapLen = t.st.IdleRun
+			t.st.HasGap = true
+			t.st.Ended = false
+		}
+		t.st.IdleRun = 0
+		if ap.Burst == amba.BurstSingle {
+			t.st.Ended = true
+		}
+	case amba.TransSeq:
+		t.st.Last = ap
+		if t.st.Remaining > 0 {
+			t.st.Remaining--
+		}
+		if t.st.Remaining == 0 {
+			t.st.Ended = true
+			t.st.IdleRun = 0
+		}
+	case amba.TransBusy:
+		// The burst is paused; nothing advances.
+	case amba.TransIdle:
+		t.st.Valid = false
+		if t.st.Ended {
+			t.st.IdleRun++
+		}
+	}
+}
+
+// Predict returns the predicted next address phase and whether a
+// confident prediction exists. Mid-burst it predicts the SEQ successor.
+// After the final beat of a fixed-length burst it predicts the next
+// burst start by stride (when PredictStarts is enabled and a stride is
+// known) or IDLE. With no burst context it predicts IDLE continuation
+// when PredictIdle is enabled; otherwise it declines.
+func (t *BurstTracker) Predict() (amba.AddrPhase, bool) {
+	// nextStart predicts the upcoming NONSEQ by stride when the
+	// observed inter-burst idle gap has elapsed.
+	nextStart := func() (amba.AddrPhase, bool) {
+		if !t.PredictStarts || !t.st.HasStride || !t.st.HasGap || t.st.IdleRun < t.st.GapLen {
+			return amba.AddrPhase{}, false
+		}
+		next := t.st.LastStart
+		next.Addr = t.st.LastStart.Addr + t.st.Stride
+		next.Trans = amba.TransNonSeq
+		return next, true
+	}
+
+	if !t.st.Valid || !t.st.Last.Trans.Active() {
+		// Master is idle. Predict the next burst start once the gap is
+		// due. While inside a learned gap the IDLE cycles themselves
+		// are confident predictions (the gap model covers them), so
+		// PredictStarts alone rides through known gaps.
+		if ap, ok := nextStart(); ok {
+			return ap, true
+		}
+		if t.PredictStarts && t.st.Ended && t.st.HasGap && t.st.IdleRun < t.st.GapLen {
+			return amba.AddrPhase{}, true
+		}
+		if t.PredictIdle {
+			return amba.AddrPhase{}, true
+		}
+		return amba.AddrPhase{}, false
+	}
+	if t.st.Remaining == 0 {
+		// Fixed-length burst exhausted: the only legal continuations
+		// are IDLE or a new NONSEQ. With a known zero gap the next
+		// start follows immediately; otherwise IDLE is the right call
+		// for the boundary cycle.
+		if ap, ok := nextStart(); ok {
+			return ap, true
+		}
+		return amba.AddrPhase{}, true
+	}
+	next := t.st.Last
+	next.Trans = amba.TransSeq
+	next.Addr = amba.NextAddr(next.Addr, next.Size, next.Burst)
+	return next, true
+}
+
+// Save implements rollback.Snapshotter.
+func (t *BurstTracker) Save() any { return t.st }
+
+// Restore implements rollback.Snapshotter.
+func (t *BurstTracker) Restore(s any) {
+	st, ok := s.(burstState)
+	if !ok {
+		panic(fmt.Sprintf("predict: bursttracker: bad snapshot %T", s))
+	}
+	t.st = st
+}
+
+// WaitModel predicts a slave's HREADY sequence with the same
+// producer-consumer wait machinery the deterministic memory slaves run:
+// the first beat of a run costs First wait states, later beats cost
+// Next. Observe keeps the model aligned with reality on conservative
+// cycles and during roll-forth.
+type WaitModel struct {
+	First, Next int
+
+	st waitState
+}
+
+type waitState struct {
+	InBurst  bool
+	WaitLeft int // -1 = no beat in progress
+}
+
+// NewWaitModel creates a wait model mirroring a slave with the given
+// deterministic profile.
+func NewWaitModel(first, next int) *WaitModel {
+	return &WaitModel{First: first, Next: next, st: waitState{WaitLeft: -1}}
+}
+
+// begin initializes the countdown for a new beat if none is in progress.
+func (w *WaitModel) begin() {
+	if w.st.WaitLeft < 0 {
+		if w.st.InBurst {
+			w.st.WaitLeft = w.Next
+		} else {
+			w.st.WaitLeft = w.First
+		}
+	}
+}
+
+// Predict returns the predicted HREADY for the beat currently in the
+// data phase and advances the model as if the prediction were true.
+func (w *WaitModel) Predict() bool {
+	w.begin()
+	if w.st.WaitLeft > 0 {
+		w.st.WaitLeft--
+		return false
+	}
+	w.st.WaitLeft = -1
+	w.st.InBurst = true
+	return true
+}
+
+// Observe aligns the model with the actual HREADY of a data-phase cycle.
+func (w *WaitModel) Observe(ready bool) {
+	w.begin()
+	if ready {
+		w.st.WaitLeft = -1
+		w.st.InBurst = true
+		return
+	}
+	if w.st.WaitLeft > 0 {
+		w.st.WaitLeft--
+	}
+}
+
+// Save implements rollback.Snapshotter.
+func (w *WaitModel) Save() any { return w.st }
+
+// Restore implements rollback.Snapshotter.
+func (w *WaitModel) Restore(s any) {
+	st, ok := s.(waitState)
+	if !ok {
+		panic(fmt.Sprintf("predict: waitmodel: bad snapshot %T", s))
+	}
+	w.st = st
+}
+
+// FaultInjector pins prediction accuracy for the evaluation sweeps: each
+// checked prediction is declared wrong with probability 1-p, regardless
+// of its real outcome. Injection happens at the lagger's check, so the
+// committed behavior stays correct while the full rollback/roll-forth
+// cost is paid — exactly the quantity the paper's model measures.
+type FaultInjector struct {
+	p      float64
+	r      *rng.Source
+	checks int64
+	faults int64
+}
+
+// NewFaultInjector creates an injector with per-check success
+// probability p in [0,1]. p=1 never injects; p=0 fails every check.
+func NewFaultInjector(p float64, seed uint64) *FaultInjector {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("predict: accuracy %v out of [0,1]", p))
+	}
+	return &FaultInjector{p: p, r: rng.New(seed)}
+}
+
+// Mispredict reports whether the current check must be treated as a
+// prediction failure.
+func (f *FaultInjector) Mispredict() bool {
+	f.checks++
+	if f.r.Bool(1 - f.p) {
+		f.faults++
+		return true
+	}
+	return false
+}
+
+// Stats returns checks performed and faults injected.
+func (f *FaultInjector) Stats() (checks, faults int64) { return f.checks, f.faults }
+
+// Accuracy returns the configured success probability.
+func (f *FaultInjector) Accuracy() float64 { return f.p }

@@ -1,0 +1,105 @@
+package rollback
+
+import (
+	"testing"
+	"time"
+)
+
+type counter struct{ n int }
+
+func (c *counter) Save() any     { return c.n }
+func (c *counter) Restore(v any) { c.n = v.(int) }
+
+func TestRegistrySaveRestore(t *testing.T) {
+	var r Registry
+	a, b := &counter{1}, &counter{2}
+	r.Register("a", a, 10)
+	r.Register("b", b, 20)
+	if r.Vars() != 30 {
+		t.Fatalf("Vars = %d", r.Vars())
+	}
+	if r.Components() != 2 {
+		t.Fatalf("Components = %d", r.Components())
+	}
+	snap := r.Save()
+	a.n, b.n = 100, 200
+	r.Restore(snap)
+	if a.n != 1 || b.n != 2 {
+		t.Fatalf("restore gave %d,%d", a.n, b.n)
+	}
+}
+
+func TestRegistryNilPanics(t *testing.T) {
+	var r Registry
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil snapshotter must panic")
+		}
+	}()
+	r.Register("x", nil, 0)
+}
+
+func TestRegistryNegativeVarsPanics(t *testing.T) {
+	var r Registry
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative vars must panic")
+		}
+	}()
+	r.Register("x", &counter{}, -1)
+}
+
+func TestRestoreTopologyMismatchPanics(t *testing.T) {
+	var r Registry
+	r.Register("a", &counter{}, 1)
+	snap := r.Save()
+	r.Register("b", &counter{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("topology mismatch must panic")
+		}
+	}()
+	r.Restore(snap)
+}
+
+func TestHardwareCostFlat(t *testing.T) {
+	m := HardwareCost()
+	if m.StoreCost(0) != m.StoreCost(100000) {
+		t.Error("hardware store cost must not depend on variable count")
+	}
+	if m.StoreCost(1000) != 15*time.Nanosecond {
+		t.Errorf("hardware store = %v", m.StoreCost(1000))
+	}
+	if m.RestoreCost(1000) != 29*time.Nanosecond {
+		t.Errorf("hardware restore = %v", m.RestoreCost(1000))
+	}
+}
+
+func TestSoftwareCostLinear(t *testing.T) {
+	m := SoftwareCost()
+	// 1000 vars at 4.7 ns/var = 4.7 µs + 100 ns base.
+	want := 4700*time.Nanosecond + 100*time.Nanosecond
+	if got := m.StoreCost(1000); got != want {
+		t.Errorf("software store(1000) = %v, want %v", got, want)
+	}
+	if m.StoreCost(2000) <= m.StoreCost(1000) {
+		t.Error("software store cost must grow with variable count")
+	}
+}
+
+func TestSnapshotIndependent(t *testing.T) {
+	var r Registry
+	c := &counter{5}
+	r.Register("c", c, 1)
+	s1 := r.Save()
+	c.n = 6
+	s2 := r.Save()
+	r.Restore(s1)
+	if c.n != 5 {
+		t.Fatal("first snapshot corrupted")
+	}
+	r.Restore(s2)
+	if c.n != 6 {
+		t.Fatal("second snapshot corrupted")
+	}
+}

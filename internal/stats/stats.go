@@ -1,0 +1,143 @@
+// Package stats provides the small statistical aggregates the experiment
+// harness reports: streaming summaries (count/mean/min/max) and integer
+// histograms (transition lengths, rollback distances, packet sizes).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a streaming aggregate over float64 observations.
+type Summary struct {
+	n          int64
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the observation count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdDev returns the population standard deviation (0 when n < 2).
+func (s *Summary) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// String renders the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g min=%.3g max=%.3g sd=%.3g", s.n, s.Mean(), s.min, s.max, s.StdDev())
+}
+
+// Hist is an exact integer histogram.
+type Hist struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHist creates an empty histogram.
+func NewHist() *Hist { return &Hist{counts: make(map[int]int64)} }
+
+// Add records one observation of value v.
+func (h *Hist) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// N returns the observation count.
+func (h *Hist) N() int64 { return h.total }
+
+// Count returns the occurrences of value v.
+func (h *Hist) Count(v int) int64 { return h.counts[v] }
+
+// Mean returns the mean value.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.counts {
+		s += float64(v) * float64(c)
+	}
+	return s / float64(h.total)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by exact counting.
+func (h *Hist) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	keys := h.sortedKeys()
+	target := int64(q * float64(h.total-1))
+	var seen int64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen > target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+func (h *Hist) sortedKeys() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// String renders "value:count" pairs in ascending value order.
+func (h *Hist) String() string {
+	var b strings.Builder
+	for i, k := range h.sortedKeys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h.counts[k])
+	}
+	return b.String()
+}

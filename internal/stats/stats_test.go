@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.N() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("summary %v", s.String())
+	}
+	want := math.Sqrt((4.0 + 0 + 4.0) / 3.0)
+	if math.Abs(s.StdDev()-want) > 1e-12 {
+		t.Fatalf("sd = %v, want %v", s.StdDev(), want)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary must be all zeros")
+	}
+}
+
+func TestHistCountsAndMean(t *testing.T) {
+	h := NewHist()
+	for _, v := range []int{1, 1, 2, 8} {
+		h.Add(v)
+	}
+	if h.N() != 4 || h.Count(1) != 2 || h.Count(5) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if got := h.String(); !strings.Contains(got, "1:2") || !strings.Contains(got, "8:1") {
+		t.Fatalf("string %q", got)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("q0 = %d", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("q1 = %d", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 49 || med > 51 {
+		t.Errorf("median = %d", med)
+	}
+	if NewHist().Quantile(0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(2) != 100 || h.Quantile(-1) != 1 {
+		t.Error("quantile clamping")
+	}
+}
+
+// Property: min <= mean <= max and quantiles are monotone.
+func TestSummaryHistProperties(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		h := NewHist()
+		for _, v := range raw {
+			s.Add(float64(v))
+			h.Add(int(v))
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		prev := h.Quantile(0)
+		for _, q := range []float64{0.25, 0.5, 0.75, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"coemu/internal/amba"
+)
+
+// Divergence describes the first mismatch between two traces.
+type Divergence struct {
+	// Cycle is the index of the first differing cycle; -1 when the
+	// traces are identical over their common prefix and equal length.
+	Cycle int
+	// Fields lists the MSABS signal groups that differ at Cycle.
+	Fields []string
+	// LenA, LenB are the trace lengths (a length mismatch with an
+	// identical common prefix reports Cycle == min length).
+	LenA, LenB int
+}
+
+// Identical reports whether no divergence was found.
+func (d Divergence) Identical() bool { return d.Cycle < 0 }
+
+// String renders the finding.
+func (d Divergence) String() string {
+	if d.Identical() {
+		return fmt.Sprintf("traces identical (%d cycles)", d.LenA)
+	}
+	if len(d.Fields) == 0 {
+		return fmt.Sprintf("length mismatch: %d vs %d cycles", d.LenA, d.LenB)
+	}
+	return fmt.Sprintf("first divergence at cycle %d in %v", d.Cycle, d.Fields)
+}
+
+// diffFields lists the signal groups differing between two cycle states.
+func diffFields(a, b amba.CycleState) []string {
+	var f []string
+	if a.AP != b.AP {
+		f = append(f, "address/control")
+	}
+	if a.WData != b.WData {
+		f = append(f, "HWDATA")
+	}
+	if a.Reply != b.Reply {
+		f = append(f, "HRDATA/HRESP/HREADY")
+	}
+	if a.Req != b.Req {
+		f = append(f, "HBUSREQ")
+	}
+	if a.Grant != b.Grant {
+		f = append(f, "HGRANT")
+	}
+	if a.IRQ != b.IRQ {
+		f = append(f, "IRQ")
+	}
+	if a.Split != b.Split {
+		f = append(f, "HSPLITx")
+	}
+	return f
+}
+
+// Diff locates the first divergence between two MSABS traces.
+func Diff(a, b []amba.CycleState) Divergence {
+	d := Divergence{Cycle: -1, LenA: len(a), LenB: len(b)}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !a[i].Equal(b[i]) {
+			d.Cycle = i
+			d.Fields = diffFields(a[i], b[i])
+			return d
+		}
+	}
+	if len(a) != len(b) {
+		d.Cycle = n
+	}
+	return d
+}
+
+// WriteDiffReport renders a human-readable divergence report with a
+// context window of cycles around the first mismatch — the format a
+// co-emulation debugging session starts from.
+func WriteDiffReport(w io.Writer, nameA, nameB string, a, b []amba.CycleState, context int) error {
+	d := Diff(a, b)
+	if _, err := fmt.Fprintln(w, d); err != nil {
+		return err
+	}
+	if d.Identical() || len(d.Fields) == 0 {
+		return nil
+	}
+	lo := d.Cycle - context
+	if lo < 0 {
+		lo = 0
+	}
+	hi := d.Cycle + context + 1
+	for i := lo; i < hi && i < len(a) && i < len(b); i++ {
+		marker := " "
+		if i == d.Cycle {
+			marker = ">"
+		}
+		if _, err := fmt.Fprintf(w, "%s cycle %6d\n  %-10s %s\n  %-10s %s\n",
+			marker, i, nameA, a[i], nameB, b[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

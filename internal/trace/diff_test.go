@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	tr := sampleTrace()
+	d := Diff(tr, tr)
+	if !d.Identical() {
+		t.Fatalf("identical traces reported: %v", d)
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Fatalf("string: %q", d.String())
+	}
+}
+
+func TestDiffFindsFieldLevelMismatch(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	b[1].WData = 0xFF
+	b[1].Req = 0
+	d := Diff(a, b)
+	if d.Cycle != 1 {
+		t.Fatalf("cycle = %d", d.Cycle)
+	}
+	joined := strings.Join(d.Fields, ",")
+	if !strings.Contains(joined, "HWDATA") || !strings.Contains(joined, "HBUSREQ") {
+		t.Fatalf("fields = %v", d.Fields)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a := sampleTrace()
+	d := Diff(a, a[:2])
+	if d.Identical() || len(d.Fields) != 0 || d.Cycle != 2 {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !strings.Contains(d.String(), "length mismatch") {
+		t.Fatalf("string: %q", d.String())
+	}
+}
+
+func TestWriteDiffReport(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	b[2].Reply.Ready = true
+	var sb strings.Builder
+	if err := WriteDiffReport(&sb, "ref", "coemu", a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "> cycle      2") {
+		t.Fatalf("report missing marker:\n%s", out)
+	}
+	if !strings.Contains(out, "ref") || !strings.Contains(out, "coemu") {
+		t.Fatalf("report missing names:\n%s", out)
+	}
+	// Context line (cycle 1) must be present too.
+	if !strings.Contains(out, "cycle      1") {
+		t.Fatalf("report missing context:\n%s", out)
+	}
+}
+
+func TestDiffSplitField(t *testing.T) {
+	a := sampleTrace()
+	b := sampleTrace()
+	b[0].Split = 0x2
+	d := Diff(a, b)
+	if d.Cycle != 0 || len(d.Fields) != 1 || d.Fields[0] != "HSPLITx" {
+		t.Fatalf("divergence = %+v", d)
+	}
+}

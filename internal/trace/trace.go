@@ -1,0 +1,123 @@
+// Package trace renders MSABS cycle traces as VCD (Value Change Dump)
+// waveforms viewable in GTKWave-class tools, and as CSV for scripted
+// analysis. Co-emulation debugging lives and dies by comparing the
+// reference and split-system waveforms, so the writers guarantee one
+// sample per target cycle with stable signal ordering.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"coemu/internal/amba"
+)
+
+// signal describes one VCD wire extracted from a CycleState.
+type signal struct {
+	name  string
+	width int
+	get   func(amba.CycleState) uint64
+}
+
+// signals lists the dumped wires in declaration order.
+var signals = []signal{
+	{"HADDR", 32, func(c amba.CycleState) uint64 { return uint64(c.AP.Addr) }},
+	{"HTRANS", 2, func(c amba.CycleState) uint64 { return uint64(c.AP.Trans) }},
+	{"HWRITE", 1, func(c amba.CycleState) uint64 { return b2u(c.AP.Write) }},
+	{"HSIZE", 3, func(c amba.CycleState) uint64 { return uint64(c.AP.Size) }},
+	{"HBURST", 3, func(c amba.CycleState) uint64 { return uint64(c.AP.Burst) }},
+	{"HPROT", 4, func(c amba.CycleState) uint64 { return uint64(c.AP.Prot) }},
+	{"HWDATA", 32, func(c amba.CycleState) uint64 { return uint64(c.WData) }},
+	{"HRDATA", 32, func(c amba.CycleState) uint64 { return uint64(c.Reply.RData) }},
+	{"HRESP", 2, func(c amba.CycleState) uint64 { return uint64(c.Reply.Resp) }},
+	{"HREADY", 1, func(c amba.CycleState) uint64 { return b2u(c.Reply.Ready) }},
+	{"HBUSREQ", 8, func(c amba.CycleState) uint64 { return uint64(c.Req) }},
+	{"HGRANT", 4, func(c amba.CycleState) uint64 { return uint64(c.Grant) }},
+	{"IRQ", 8, func(c amba.CycleState) uint64 { return uint64(c.IRQ) }},
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// idChar returns the VCD identifier for signal index i.
+func idChar(i int) string { return string(rune('!' + i)) }
+
+// WriteVCD dumps the trace as a VCD document. timescaleNs is the target
+// clock period in nanoseconds (10 for a 100 MHz target, say).
+func WriteVCD(w io.Writer, module string, cycles []amba.CycleState, timescaleNs int) error {
+	if timescaleNs <= 0 {
+		return fmt.Errorf("trace: non-positive timescale %d", timescaleNs)
+	}
+	var b strings.Builder
+	b.WriteString("$date\n  coemu trace\n$end\n")
+	b.WriteString("$version\n  coemu VCD writer\n$end\n")
+	fmt.Fprintf(&b, "$timescale %dns $end\n", timescaleNs)
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	for i, s := range signals {
+		fmt.Fprintf(&b, "$var wire %d %s %s [%d:0] $end\n", s.width, idChar(i), s.name, s.width-1)
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+
+	last := make([]uint64, len(signals))
+	for cyc, cs := range cycles {
+		var body strings.Builder
+		fmt.Fprintf(&body, "#%d\n", cyc)
+		for i, s := range signals {
+			v := s.get(cs)
+			if cyc > 0 && v == last[i] {
+				continue
+			}
+			last[i] = v
+			if s.width == 1 {
+				fmt.Fprintf(&body, "%d%s\n", v&1, idChar(i))
+			} else {
+				fmt.Fprintf(&body, "b%b %s\n", v, idChar(i))
+			}
+		}
+		if _, err := io.WriteString(w, body.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", len(cycles))
+	return err
+}
+
+// WriteCSV dumps the trace as CSV with one row per target cycle.
+func WriteCSV(w io.Writer, cycles []amba.CycleState) error {
+	var cols []string
+	cols = append(cols, "cycle")
+	for _, s := range signals {
+		cols = append(cols, s.name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for cyc, cs := range cycles {
+		row := make([]string, 0, len(signals)+1)
+		row = append(row, fmt.Sprintf("%d", cyc))
+		for _, s := range signals {
+			row = append(row, fmt.Sprintf("0x%x", s.get(cs)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SignalNames returns the dumped signal names in order.
+func SignalNames() []string {
+	out := make([]string, len(signals))
+	for i, s := range signals {
+		out[i] = s.name
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"coemu/internal/amba"
+)
+
+func sampleTrace() []amba.CycleState {
+	return []amba.CycleState{
+		{AP: amba.AddrPhase{Addr: 0x100, Trans: amba.TransNonSeq, Write: true, Size: amba.Size32, Burst: amba.BurstIncr4}, Req: 1, Reply: amba.OkayReady()},
+		{AP: amba.AddrPhase{Addr: 0x104, Trans: amba.TransSeq, Write: true, Size: amba.Size32, Burst: amba.BurstIncr4}, Req: 1, WData: 0xAA, Reply: amba.OkayReady()},
+		{AP: amba.AddrPhase{Addr: 0x104, Trans: amba.TransSeq, Write: true, Size: amba.Size32, Burst: amba.BurstIncr4}, Req: 1, WData: 0xAA, Reply: amba.SlaveReply{Ready: false}},
+	}
+}
+
+func TestWriteVCDStructure(t *testing.T) {
+	var b strings.Builder
+	if err := WriteVCD(&b, "ahb", sampleTrace(), 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"$timescale 10ns $end",
+		"$scope module ahb $end",
+		"HADDR", "HTRANS", "HREADY", "HBUSREQ",
+		"$enddefinitions $end",
+		"#0", "#1", "#2", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// Value-change compression: HADDR changes between #0 and #1 but not
+	// between #1 and #2, so exactly two HADDR records must exist.
+	haddrID := idChar(0)
+	if got := strings.Count(out, " "+haddrID+"\n"); got != 2 {
+		t.Errorf("HADDR dumped %d times, want 2", got)
+	}
+}
+
+func TestWriteVCDBadTimescale(t *testing.T) {
+	var b strings.Builder
+	if err := WriteVCD(&b, "m", nil, 0); err == nil {
+		t.Fatal("zero timescale must fail")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "cycle" || len(header) != len(SignalNames())+1 {
+		t.Fatalf("header %v", header)
+	}
+	if !strings.HasPrefix(lines[1], "0,0x100,") {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+}
+
+func TestSignalNamesStable(t *testing.T) {
+	names := SignalNames()
+	if names[0] != "HADDR" || names[len(names)-1] != "IRQ" {
+		t.Fatalf("signal order changed: %v", names)
+	}
+}

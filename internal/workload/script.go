@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"coemu/internal/amba"
+	"coemu/internal/ip"
+)
+
+// ParseScript compiles a textual transfer script into a Sequence
+// generator. The format is line-oriented:
+//
+//	# comment (also after ';')
+//	W <addr> <burst> <bits> [len=N] [gap=N] [data=v,v,...]
+//	R <addr> <burst> <bits> [len=N] [gap=N]
+//
+// where burst is SINGLE, INCR, WRAP4/8/16 or INCR4/8/16 and bits is the
+// transfer width (8, 16 or 32). Addresses and data accept decimal or
+// 0x-prefixed hex. Writes without data= use an incrementing pattern.
+//
+// Example:
+//
+//	# fill a frame, read it back
+//	W 0x1000 INCR8 32 data=0xaa,0xbb,0xcc,0xdd,1,2,3,4
+//	R 0x1000 INCR8 32 gap=2
+//	W 0x2002 SINGLE 16 data=0x1234
+func ParseScript(src string) (*Sequence, error) {
+	var xfers []ip.Xfer
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		x, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("workload: script line %d: %w", ln+1, err)
+		}
+		xfers = append(xfers, x)
+	}
+	if len(xfers) == 0 {
+		return nil, fmt.Errorf("workload: script contains no transfers")
+	}
+	return NewSequence(xfers...), nil
+}
+
+// burstNames maps mnemonic to encoding.
+var burstNames = map[string]amba.Burst{
+	"SINGLE": amba.BurstSingle,
+	"INCR":   amba.BurstIncr,
+	"WRAP4":  amba.BurstWrap4,
+	"INCR4":  amba.BurstIncr4,
+	"WRAP8":  amba.BurstWrap8,
+	"INCR8":  amba.BurstIncr8,
+	"WRAP16": amba.BurstWrap16,
+	"INCR16": amba.BurstIncr16,
+}
+
+// sizeBits maps width in bits to encoding.
+var sizeBits = map[string]amba.Size{
+	"8": amba.Size8, "16": amba.Size16, "32": amba.Size32,
+}
+
+func parseLine(line string) (ip.Xfer, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return ip.Xfer{}, fmt.Errorf("want '<R|W> <addr> <burst> <bits> [opts]', got %q", line)
+	}
+	var x ip.Xfer
+	switch strings.ToUpper(fields[0]) {
+	case "W":
+		x.Write = true
+	case "R":
+		x.Write = false
+	default:
+		return ip.Xfer{}, fmt.Errorf("direction %q (want R or W)", fields[0])
+	}
+	addr, err := parseNum(fields[1])
+	if err != nil {
+		return ip.Xfer{}, fmt.Errorf("address: %w", err)
+	}
+	x.Addr = amba.Addr(addr)
+	burst, ok := burstNames[strings.ToUpper(fields[2])]
+	if !ok {
+		return ip.Xfer{}, fmt.Errorf("unknown burst %q", fields[2])
+	}
+	x.Burst = burst
+	size, ok := sizeBits[fields[3]]
+	if !ok {
+		return ip.Xfer{}, fmt.Errorf("unsupported width %q (want 8, 16 or 32)", fields[3])
+	}
+	x.Size = size
+
+	for _, opt := range fields[4:] {
+		k, v, found := strings.Cut(opt, "=")
+		if !found {
+			return ip.Xfer{}, fmt.Errorf("malformed option %q", opt)
+		}
+		switch strings.ToLower(k) {
+		case "len":
+			n, err := parseNum(v)
+			if err != nil {
+				return ip.Xfer{}, fmt.Errorf("len: %w", err)
+			}
+			x.Len = int(n)
+		case "gap":
+			n, err := parseNum(v)
+			if err != nil {
+				return ip.Xfer{}, fmt.Errorf("gap: %w", err)
+			}
+			x.Gap = int(n)
+		case "data":
+			for _, s := range strings.Split(v, ",") {
+				n, err := parseNum(s)
+				if err != nil {
+					return ip.Xfer{}, fmt.Errorf("data: %w", err)
+				}
+				x.Data = append(x.Data, amba.Word(n))
+			}
+		default:
+			return ip.Xfer{}, fmt.Errorf("unknown option %q", k)
+		}
+	}
+
+	if !amba.Aligned(x.Addr, x.Size) {
+		return ip.Xfer{}, fmt.Errorf("address %#x unaligned for %d-bit transfers", uint32(x.Addr), x.Size.Bytes()*8)
+	}
+	if x.Burst == amba.BurstIncr && x.Len == 0 {
+		return ip.Xfer{}, fmt.Errorf("INCR burst requires len=")
+	}
+	beats := x.Beats()
+	if x.Write {
+		if x.Data == nil {
+			x.Data = make([]amba.Word, beats)
+			for i := range x.Data {
+				x.Data[i] = amba.Word(i + 1)
+			}
+		}
+		if len(x.Data) != beats {
+			return ip.Xfer{}, fmt.Errorf("%d data words for %d beats", len(x.Data), beats)
+		}
+	} else if x.Data != nil {
+		return ip.Xfer{}, fmt.Errorf("read transfers take no data")
+	}
+	return x, nil
+}
+
+func parseNum(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	return strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), base(s), 64)
+}
+
+func base(s string) int {
+	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(s)), "0x") {
+		return 16
+	}
+	return 10
+}

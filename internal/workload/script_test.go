@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"coemu/internal/amba"
+)
+
+func TestParseScriptBasics(t *testing.T) {
+	src := `
+# a comment
+W 0x1000 INCR8 32 data=1,2,3,4,5,6,7,8
+R 0x1000 INCR8 32 gap=2   ; trailing comment
+W 0x2002 SINGLE 16 data=0x1234
+R 0x3000 WRAP4 32
+W 0x4000 INCR 32 len=3
+`
+	gen, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := drain(gen, 100)
+	if len(xs) != 5 {
+		t.Fatalf("%d transfers", len(xs))
+	}
+	if !xs[0].Write || xs[0].Addr != 0x1000 || xs[0].Burst != amba.BurstIncr8 || xs[0].Data[7] != 8 {
+		t.Fatalf("xfer 0 = %+v", xs[0])
+	}
+	if xs[1].Write || xs[1].Gap != 2 {
+		t.Fatalf("xfer 1 = %+v", xs[1])
+	}
+	if xs[2].Size != amba.Size16 || xs[2].Data[0] != 0x1234 {
+		t.Fatalf("xfer 2 = %+v", xs[2])
+	}
+	if xs[3].Burst != amba.BurstWrap4 || xs[3].Data != nil {
+		t.Fatalf("xfer 3 = %+v", xs[3])
+	}
+	// INCR len=3 write without data gets the default pattern.
+	if xs[4].Len != 3 || len(xs[4].Data) != 3 || xs[4].Data[2] != 3 {
+		t.Fatalf("xfer 4 = %+v", xs[4])
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"", "no transfers"},
+		{"X 0 SINGLE 32", "direction"},
+		{"W zzz SINGLE 32", "address"},
+		{"W 0 BONK 32", "unknown burst"},
+		{"W 0 SINGLE 64", "unsupported width"},
+		{"W 0x1002 SINGLE 32", "unaligned"},
+		{"W 0 INCR 32", "requires len"},
+		{"W 0 SINGLE 32 data=1,2", "data words"},
+		{"R 0 SINGLE 32 data=1", "no data"},
+		{"W 0 SINGLE 32 bogus=1", "unknown option"},
+		{"W 0 SINGLE 32 gap", "malformed option"},
+		{"W 0 SINGLE", "want '<R|W>"},
+		{"W 0 SINGLE 32 len=x", "len"},
+	}
+	for _, c := range cases {
+		_, err := ParseScript(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseScript(%q) err = %v, want contains %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseScriptLineNumbers(t *testing.T) {
+	_, err := ParseScript("W 0 SINGLE 32\n\nR 0 BONK 32\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
