@@ -12,15 +12,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 
 	"coemu"
 	"coemu/internal/perfmodel"
 )
 
+// jobs is the DES worker-pool width (the -j flag).
+var jobs int
+
 func main() {
 	out := flag.String("out", ".", "output directory")
 	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
+	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs")
 	flag.Parse()
+	if jobs < 1 {
+		jobs = 1
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -28,6 +37,35 @@ func main() {
 	writeFigure4(filepath.Join(*out, "figure4.csv"))
 	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), *cycles)
 	writeDESLOB(filepath.Join(*out, "des_lob.csv"), *cycles)
+}
+
+// parMap computes f(0..n-1) on a pool of jobs workers and returns the
+// results in index order. Each engine run is independent and
+// single-threaded, so the sweeps scale with cores while the CSV rows
+// stay in their deterministic order.
+func parMap[T any](n int, f func(i int) T) []T {
+	res := make([]T, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	workers := jobs
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return res
 }
 
 func fatal(err error) {
@@ -100,21 +138,24 @@ func desDesign() coemu.Design {
 func writeDESAccuracy(path string, cycles int64) {
 	f := create(path)
 	defer f.Close()
-	d := desDesign()
-	conv, err := coemu.Run(d, coemu.Config{Mode: coemu.Conservative}, cycles)
+	conv, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.Conservative}, cycles)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "p,perf,ratio,transitions,rollbacks,accesses,words")
-	for _, p := range []float64{1, 0.99, 0.96, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1} {
-		rep, err := coemu.Run(d, coemu.Config{
-			Mode: coemu.ALS, Accuracy: p, FaultSeed: 12345, RollbackVars: 1000,
+	ps := []float64{1, 0.99, 0.96, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
+	reps := parMap(len(ps), func(i int) *coemu.Report {
+		rep, err := coemu.Run(desDesign(), coemu.Config{
+			Mode: coemu.ALS, Accuracy: ps[i], FaultSeed: 12345, RollbackVars: 1000,
 		}, cycles)
 		if err != nil {
 			fatal(err)
 		}
+		return rep
+	})
+	for i, rep := range reps {
 		fmt.Fprintf(f, "%.2f,%.1f,%.3f,%d,%d,%d,%d\n",
-			p, rep.Perf(), rep.Perf()/conv.Perf(),
+			ps[i], rep.Perf(), rep.Perf()/conv.Perf(),
 			rep.Stats.Transitions, rep.Stats.Rollbacks,
 			rep.Channel.TotalAccesses(), rep.Channel.TotalWords())
 	}
@@ -123,19 +164,22 @@ func writeDESAccuracy(path string, cycles int64) {
 func writeDESLOB(path string, cycles int64) {
 	f := create(path)
 	defer f.Close()
-	d := desDesign()
-	conv, err := coemu.Run(d, coemu.Config{Mode: coemu.Conservative}, cycles)
+	conv, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.Conservative}, cycles)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "lob_words,perf,ratio,mean_transition,accesses")
-	for _, lob := range []int{8, 16, 32, 64, 128, 256, 512, 1024} {
-		rep, err := coemu.Run(d, coemu.Config{Mode: coemu.ALS, LOBDepth: lob}, cycles)
+	lobs := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	reps := parMap(len(lobs), func(i int) *coemu.Report {
+		rep, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.ALS, LOBDepth: lobs[i]}, cycles)
 		if err != nil {
 			fatal(err)
 		}
+		return rep
+	})
+	for i, rep := range reps {
 		fmt.Fprintf(f, "%d,%.1f,%.3f,%.2f,%d\n",
-			lob, rep.Perf(), rep.Perf()/conv.Perf(),
+			lobs[i], rep.Perf(), rep.Perf()/conv.Perf(),
 			rep.TransitionLengths.Mean(), rep.Channel.TotalAccesses())
 	}
 }

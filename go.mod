@@ -1,0 +1,3 @@
+module coemu
+
+go 1.22

@@ -165,6 +165,10 @@ type Bus struct {
 
 	st   busState
 	eval evalState
+
+	// drives is the Evaluate scratch buffer, sized to the master count
+	// and reused every cycle so the steady-state loop never allocates.
+	drives []MasterDrive
 }
 
 // New creates an empty bus fabric that owns the default slave.
@@ -350,7 +354,13 @@ func (b *Bus) Evaluate() amba.PartialState {
 		panic(fmt.Sprintf("bus %s: no masters", b.name))
 	}
 
-	drives := make([]MasterDrive, len(b.masters))
+	if cap(b.drives) < len(b.masters) {
+		b.drives = make([]MasterDrive, len(b.masters))
+	}
+	drives := b.drives[:len(b.masters)]
+	for i := range drives {
+		drives[i] = MasterDrive{}
+	}
 	var local amba.PartialState
 	local.ReqMask = b.LocalReqMask()
 	local.IRQMask = b.irqMask
@@ -525,19 +535,28 @@ func (b *Bus) Cycle() int64 { return b.st.Cycle }
 // Save implements rollback.Snapshotter for the fabric's registered
 // state. Snapshots may only be taken between cycles (never between
 // Evaluate and Commit).
-func (b *Bus) Save() any {
+func (b *Bus) Save() any { return b.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a bus.
+func (b *Bus) SaveInto(prev any) any {
 	if b.eval.valid {
 		panic(fmt.Sprintf("bus %s: snapshot between Evaluate and Commit", b.name))
 	}
-	return b.st
+	st, ok := prev.(*busState)
+	if !ok {
+		st = new(busState)
+	}
+	*st = b.st
+	return st
 }
 
 // Restore implements rollback.Snapshotter.
 func (b *Bus) Restore(s any) {
-	st, ok := s.(busState)
+	st, ok := s.(*busState)
 	if !ok {
 		panic(fmt.Sprintf("bus %s: bad snapshot %T", b.name, s))
 	}
-	b.st = st
+	b.st = *st
 	b.eval = evalState{}
 }

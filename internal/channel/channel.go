@@ -74,7 +74,22 @@ type Channel struct {
 	stack  device.Stack
 	ledger *vclock.Ledger
 	stats  Stats
-	queues [2][][]amba.Word
+	queues [2]queue
+
+	// free is the packet free-list: word buffers handed back via Release
+	// after the receiver unpacked them, recycled by the next Send. In the
+	// steady state every packet buffer comes from here, so the per-cycle
+	// exchange paths allocate nothing.
+	free [][]amba.Word
+}
+
+// queue is a FIFO of packets. Dequeuing advances head instead of
+// reslicing so the backing array is reused once the queue drains
+// (reslicing q[1:] forever walks the buffer forward and forces append
+// to reallocate).
+type queue struct {
+	pkts [][]amba.Word
+	head int
 }
 
 // New creates a channel over the given device stack, charging access
@@ -101,25 +116,55 @@ func (c *Channel) Send(d Dir, payload []amba.Word) {
 	c.stats.Accesses[d]++
 	c.stats.Words[d] += int64(len(payload))
 	c.stats.SizeHist[d][bucket(len(payload))]++
-	// Copy: the sender may reuse its buffer.
-	pkt := make([]amba.Word, len(payload))
-	copy(pkt, payload)
-	c.queues[d] = append(c.queues[d], pkt)
+	// Copy into a pooled buffer: the sender may reuse its slice.
+	var pkt []amba.Word
+	if n := len(c.free); n > 0 {
+		pkt = c.free[n-1][:0]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	}
+	pkt = append(pkt, payload...)
+	if pkt == nil {
+		pkt = []amba.Word{} // keep zero-length packets non-nil
+	}
+	q := &c.queues[d]
+	q.pkts = append(q.pkts, pkt)
 }
 
 // Recv dequeues the oldest packet in direction d. Receiving from an
 // empty queue panics: the engine's handshake protocol guarantees a
 // packet is present, so an empty queue is an engine bug, not a runtime
 // condition to soften.
+//
+// The returned slice is owned by the caller until it hands it back with
+// Release (or drops it; Release is an optimization, not an obligation).
 func (c *Channel) Recv(d Dir) []amba.Word {
-	q := c.queues[d]
-	if len(q) == 0 {
+	q := &c.queues[d]
+	if q.head >= len(q.pkts) {
 		panic(fmt.Sprintf("channel: recv on empty %v queue", d))
 	}
-	pkt := q[0]
-	c.queues[d] = q[1:]
+	pkt := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
 	return pkt
 }
 
+// Release returns a packet obtained from Recv to the free-list once the
+// receiver has fully decoded it. The caller must not touch the slice
+// afterwards: the next Send will overwrite it.
+func (c *Channel) Release(pkt []amba.Word) {
+	if cap(pkt) == 0 {
+		return
+	}
+	c.free = append(c.free, pkt)
+}
+
 // Pending returns the number of queued packets in direction d.
-func (c *Channel) Pending(d Dir) int { return len(c.queues[d]) }
+func (c *Channel) Pending(d Dir) int {
+	q := &c.queues[d]
+	return len(q.pkts) - q.head
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"coemu/internal/amba"
+	"coemu/internal/bus"
+	"coemu/internal/ip"
+)
+
+// Allocation-regression guards for the engine hot path. The steady-state
+// cycle loop — bus evaluate/commit, channel pack/send/recv/unpack, LOB
+// deposit and flush, and the once-per-transition rollback store — must
+// not allocate: every buffer is engine-, bus-, channel- or
+// registry-owned scratch reused across cycles. These tests pin that
+// property so it cannot silently rot.
+//
+// The only allocations tolerated are amortized container growth that is
+// not on the per-cycle path: the master's append-only beat log doubles
+// its capacity O(log n) times per run. The warm-up loops below grow
+// those containers past what the measured window needs, so the asserted
+// bound is exactly zero.
+
+// zeroStream is a write-burst generator with no per-transfer heap state:
+// Data stays nil (the master drives zero words), so fetching a transfer
+// allocates nothing — unlike workload.Stream, which builds a fresh Data
+// slice per write burst. That isolates the engine's own allocations from
+// workload-owned ones.
+type zeroStream struct {
+	lo, hi amba.Addr
+	cursor amba.Addr
+}
+
+func (z *zeroStream) Next() (ip.Xfer, bool) {
+	x := ip.Xfer{Addr: z.cursor, Write: true, Size: amba.Size32, Burst: amba.BurstIncr8}
+	const span = 8 * 4
+	z.cursor += span
+	if z.cursor+span > z.hi {
+		z.cursor = z.lo
+	}
+	return x, true
+}
+
+func (z *zeroStream) Save() any { return z.SaveInto(nil) }
+
+func (z *zeroStream) SaveInto(prev any) any {
+	p, ok := prev.(*amba.Addr)
+	if !ok {
+		p = new(amba.Addr)
+	}
+	*p = z.cursor
+	return p
+}
+
+func (z *zeroStream) Restore(v any) { z.cursor = *(v.(*amba.Addr)) }
+
+// allocDesign is the canonical ALS split (acc-side write master, sim-side
+// memory) over the zero-alloc generator.
+func allocDesign() Design {
+	return Design{
+		Masters: []MasterSpec{{
+			Name:   "dma",
+			Domain: AccDomain,
+			NewGen: func() ip.Generator { return &zeroStream{lo: 0, hi: 0x4000} },
+		}},
+		Slaves: []SlaveSpec{{
+			Name:   "mem",
+			Domain: SimDomain,
+			Region: bus.Region{Lo: 0, Hi: 0x8000},
+			New:    func() bus.Slave { return ip.NewSRAM("mem") },
+		}},
+	}
+}
+
+func TestConservativeCycleAllocFree(t *testing.T) {
+	e, err := NewEngine(allocDesign(), Config{Mode: Conservative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: grow the scratch buffers, channel pools and the master's
+	// beat log well past what the measured window will touch.
+	for i := 0; i < 3000; i++ {
+		if err := e.conservativeCycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 100; i++ {
+			if err := e.conservativeCycle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state conservative cycles allocated %.1f objects per 100 cycles, want 0", allocs)
+	}
+}
+
+func TestALSTransitionAllocFree(t *testing.T) {
+	e, err := NewEngine(allocDesign(), Config{Mode: ALS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transition := func() {
+		leader := e.chooseLeader()
+		if leader == nil {
+			if err := e.conservativeCycle(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		n, err := e.transition(leader, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("transition committed no cycles")
+		}
+	}
+	for i := 0; i < 300; i++ {
+		transition()
+	}
+	allocs := testing.AllocsPerRun(20, transition)
+	if allocs != 0 {
+		t.Fatalf("clean ALS transition allocated %.1f objects, want 0", allocs)
+	}
+}

@@ -175,8 +175,8 @@ func TestFlushPacketRoundTrip(t *testing.T) {
 		{Out: amba.PartialState{ReqMask: 1, HasAP: true, AP: amba.AddrPhase{Addr: 8, Trans: amba.TransSeq, Size: amba.Size32, Burst: amba.BurstIncr8}}, Pred: amba.PartialState{ReqMask: 2}, HasPred: true},
 		{Out: amba.PartialState{ReqMask: 1}},
 	}
-	pkt := packFlush(entries)
-	got, err := unpackFlush(pkt, 0, 0)
+	pkt := packFlush(nil, entries)
+	got, err := unpackFlush(nil, pkt, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,21 +195,21 @@ func TestFlushPacketRoundTrip(t *testing.T) {
 
 func TestReportPacketRoundTrip(t *testing.T) {
 	actual := amba.PartialState{ReqMask: 3, Req: 1, HasReply: true, Reply: amba.SlaveReply{Ready: true, RData: 0xBEEF}}
-	ok, _, got, err := unpackReport(packReport(true, 0, actual), 0)
+	ok, _, got, err := unpackReport(packReport(nil, true, 0, actual), 0)
 	if err != nil || !ok || !got.Equal(actual) {
 		t.Fatalf("success report: ok=%v err=%v", ok, err)
 	}
-	ok, idx, got, err := unpackReport(packReport(false, 17, actual), 0)
+	ok, idx, got, err := unpackReport(packReport(nil, false, 17, actual), 0)
 	if err != nil || ok || idx != 17 || !got.Equal(actual) {
 		t.Fatalf("failure report: ok=%v idx=%d err=%v", ok, idx, err)
 	}
 }
 
 func TestPacketErrors(t *testing.T) {
-	if _, err := unpackFlush(nil, 0, 0); err == nil {
+	if _, err := unpackFlush(nil, nil, 0, 0); err == nil {
 		t.Error("empty flush must fail")
 	}
-	if _, err := unpackFlush([]amba.Word{0}, 0, 0); err == nil {
+	if _, err := unpackFlush(nil, []amba.Word{0}, 0, 0); err == nil {
 		t.Error("zero-entry flush must fail")
 	}
 	if _, _, _, err := unpackReport(nil, 0); err == nil {

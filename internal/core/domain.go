@@ -31,8 +31,13 @@ type Domain struct {
 	timeCat   vclock.Category
 	costModel rollback.CostModel
 
-	evaluated   bool
-	pendingEval amba.PartialState
+	evaluated bool
+
+	// snap is the domain's reusable transition snapshot. The engine
+	// keeps at most one snapshot live per domain (rb_store at the start
+	// of each transition, rb_restore at most once before the next
+	// store), so each store recycles the previous transition's buffers.
+	snap rollback.Snapshot
 }
 
 // buildDomain constructs one half of the split system.
@@ -139,9 +144,8 @@ func (d *Domain) Evaluate(ledger *vclock.Ledger) amba.PartialState {
 		panic(fmt.Sprintf("core: domain %s: Evaluate without Commit", d.id))
 	}
 	ledger.Charge(d.timeCat, d.cycleCost)
-	d.pendingEval = d.bus.Evaluate()
 	d.evaluated = true
-	return d.pendingEval
+	return d.bus.Evaluate()
 }
 
 // Commit completes the cycle with the given remote contribution (real or
@@ -164,25 +168,24 @@ func (d *Domain) Commit(remote amba.PartialState) amba.CycleState {
 }
 
 // Predict returns the predicted remote contribution for the upcoming
-// cycle, or the reason no prediction is possible.
+// cycle, or the reason no prediction is possible. Predict is legal both
+// before and after Evaluate: it touches only registered bus state.
 func (d *Domain) Predict() (amba.PartialState, DeclineReason) {
-	if d.evaluated {
-		// Predict is legal both before and after Evaluate (it touches
-		// only registered bus state), but the engine always predicts
-		// after evaluating; assert nothing either way.
-		_ = d.pendingEval
-	}
 	return d.pred.Predict()
 }
 
 // Snapshot captures the whole domain (components, generators, bus,
-// predictor, clock) and charges the store cost.
+// predictor, clock) and charges the store cost. The returned snapshot
+// recycles the buffers of the previous Snapshot call: only the most
+// recent one may still be restored, exactly the leader's rollback
+// discipline.
 func (d *Domain) Snapshot(ledger *vclock.Ledger, vars int) rollback.Snapshot {
 	if d.evaluated {
 		panic(fmt.Sprintf("core: domain %s: snapshot mid-cycle", d.id))
 	}
 	ledger.Charge(vclock.Store, d.costModel.StoreCost(vars))
-	return d.reg.Save()
+	d.reg.SaveInto(&d.snap)
+	return d.snap
 }
 
 // Rollback restores a snapshot and charges the restore cost.

@@ -220,6 +220,15 @@ type Engine struct {
 	// failEWMA estimates the recent misprediction rate for the
 	// adaptive governor.
 	failEWMA float64
+
+	// Scratch buffers reused across cycles and transitions so the
+	// steady-state loop is allocation-free. packBuf backs every outbound
+	// Pack (the channel copies payloads into its own pooled buffers, so
+	// one scratch serves all sends); preds and flushEnt are live only
+	// within a single transition.
+	packBuf  []amba.Word
+	preds    []amba.PartialState
+	flushEnt []Entry
 }
 
 // EWMA constants of the adaptive governor: per-check blending and the
@@ -298,15 +307,21 @@ func (e *Engine) commitTrace(cs amba.CycleState) error {
 func (e *Engine) conservativeCycle() error {
 	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
 	simOut := simD.Evaluate(&e.ledger)
-	e.ch.Send(channel.SimToAcc, simOut.Pack(nil))
+	e.packBuf = simOut.Pack(e.packBuf[:0])
+	e.ch.Send(channel.SimToAcc, e.packBuf)
 	accOut := accD.Evaluate(&e.ledger)
-	e.ch.Send(channel.AccToSim, accOut.Pack(nil))
+	e.packBuf = accOut.Pack(e.packBuf[:0])
+	e.ch.Send(channel.AccToSim, e.packBuf)
 
-	simIn, _, err := amba.Unpack(e.ch.Recv(channel.AccToSim), accD.LocalIRQMask())
+	simPkt := e.ch.Recv(channel.AccToSim)
+	simIn, _, err := amba.Unpack(simPkt, accD.LocalIRQMask())
+	e.ch.Release(simPkt)
 	if err != nil {
 		return fmt.Errorf("core: conservative sim<-acc: %w", err)
 	}
-	accIn, _, err := amba.Unpack(e.ch.Recv(channel.SimToAcc), simD.LocalIRQMask())
+	accPkt := e.ch.Recv(channel.SimToAcc)
+	accIn, _, err := amba.Unpack(accPkt, simD.LocalIRQMask())
+	e.ch.Release(accPkt)
 	if err != nil {
 		return fmt.Errorf("core: conservative acc<-sim: %w", err)
 	}
@@ -431,7 +446,8 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	// buffer always keeps room for the final, prediction-less entry
 	// (maxPartialWords), which is deposited after the loop decides to
 	// stop — by then the cycle is already evaluated.
-	var preds []amba.PartialState
+	preds := e.preds[:0]
+	defer func() { e.preds = preds[:0] }()
 	for {
 		out := leader.Evaluate(&e.ledger)
 		pred, reason := leader.Predict()
@@ -457,9 +473,12 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 
 	// Flush (S-2): the whole LOB crosses the channel as one burst.
 	entries := e.lob.Entries()
-	e.ch.Send(dirFrom(leader.ID()), packFlush(entries))
+	e.packBuf = packFlush(e.packBuf[:0], entries)
+	e.ch.Send(dirFrom(leader.ID()), e.packBuf)
 	flushPkt := e.ch.Recv(dirFrom(leader.ID()))
-	got, err := unpackFlush(flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
+	got, err := unpackFlush(e.flushEnt[:0], flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
+	e.flushEnt = got[:0]
+	e.ch.Release(flushPkt)
 	if err != nil {
 		return committedLead, err
 	}
@@ -479,8 +498,11 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		if !entry.HasPred {
 			// Final entry: report the lagger's actual contribution
 			// (R-path); the leader completes its pending cycle with it.
-			e.ch.Send(dirFrom(lagger.ID()), packReport(true, 0, laggerOut))
-			ok, _, actual, err := unpackReport(e.ch.Recv(dirFrom(lagger.ID())), lagger.LocalIRQMask())
+			e.packBuf = packReport(e.packBuf[:0], true, 0, laggerOut)
+			e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
+			repPkt := e.ch.Recv(dirFrom(lagger.ID()))
+			ok, _, actual, err := unpackReport(repPkt, lagger.LocalIRQMask())
+			e.ch.Release(repPkt)
 			if err != nil || !ok {
 				return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
 			}
@@ -502,8 +524,11 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		e.stats.Mispredicts++
 
 		// Prediction failure (L-5): report the actual contribution.
-		e.ch.Send(dirFrom(lagger.ID()), packReport(false, i, laggerOut))
-		ok, idx, actual, err := unpackReport(e.ch.Recv(dirFrom(lagger.ID())), lagger.LocalIRQMask())
+		e.packBuf = packReport(e.packBuf[:0], false, i, laggerOut)
+		e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
+		repPkt := e.ch.Recv(dirFrom(lagger.ID()))
+		ok, idx, actual, err := unpackReport(repPkt, lagger.LocalIRQMask())
+		e.ch.Release(repPkt)
 		if err != nil || ok || idx != i {
 			return committed, fmt.Errorf("core: failure report: ok=%v idx=%d err=%v", ok, idx, err)
 		}
@@ -552,11 +577,19 @@ func (e *Engine) Run(cycles int64) (*Report, error) {
 		}
 		e.transLen.Add(int(n))
 	}
+	// The Stats struct shallow-copies into the report, but Declines is a
+	// map: hand the report its own copy so it describes this run's
+	// outcome rather than aliasing live engine state.
+	st := e.stats
+	st.Declines = make(map[DeclineReason]int64, len(e.stats.Declines))
+	for k, v := range e.stats.Declines {
+		st.Declines[k] = v
+	}
 	rep := &Report{
 		Mode:              e.cfg.Mode,
 		Cycles:            e.stats.Committed,
 		Ledger:            e.ledger.Snapshot(),
-		Stats:             e.stats,
+		Stats:             st,
 		Channel:           e.ch.Stats(),
 		Trace:             e.trace,
 		LOBPeakWords:      e.lob.PeakWords(),

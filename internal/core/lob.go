@@ -50,7 +50,9 @@ func NewLOB(depth int) *LOB {
 	if depth < 1 {
 		panic(fmt.Sprintf("core: LOB depth %d < 1", depth))
 	}
-	return &LOB{depth: depth}
+	// Every entry is at least one word, so depth entries is the most the
+	// buffer can ever hold: preallocating that keeps Push allocation-free.
+	return &LOB{depth: depth, entries: make([]Entry, 0, depth)}
 }
 
 // Depth returns the configured capacity in words.

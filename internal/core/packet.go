@@ -20,10 +20,10 @@ import (
 // reportSuccess is the status word of a successful follow-up report.
 const reportSuccess = ^amba.Word(0)
 
-// packFlush encodes the LOB contents.
-func packFlush(entries []Entry) []amba.Word {
-	out := make([]amba.Word, 0, 64)
-	out = append(out, amba.Word(len(entries)))
+// packFlush appends the encoded LOB contents to dst and returns the
+// extended slice (pass nil to allocate; the engine passes its scratch).
+func packFlush(dst []amba.Word, entries []Entry) []amba.Word {
+	out := append(dst, amba.Word(len(entries)))
 	for i, e := range entries {
 		if e.HasPred != (i < len(entries)-1) {
 			panic(fmt.Sprintf("core: flush entry %d/%d has unexpected prediction presence", i, len(entries)))
@@ -36,11 +36,12 @@ func packFlush(entries []Entry) []amba.Word {
 	return out
 }
 
-// unpackFlush decodes a flush packet. irqMask is the IRQ ownership of
-// the sending (leader) domain for its outs; predMask is the lagger-side
-// ownership for the predictions (a prediction describes the lagger's
-// own contribution).
-func unpackFlush(pkt []amba.Word, outIRQMask, predIRQMask uint32) ([]Entry, error) {
+// unpackFlush decodes a flush packet, appending the entries to dst
+// (pass nil to allocate; the engine passes its scratch). irqMask is the
+// IRQ ownership of the sending (leader) domain for its outs; predMask
+// is the lagger-side ownership for the predictions (a prediction
+// describes the lagger's own contribution).
+func unpackFlush(dst []Entry, pkt []amba.Word, outIRQMask, predIRQMask uint32) ([]Entry, error) {
 	if len(pkt) == 0 {
 		return nil, fmt.Errorf("core: empty flush packet")
 	}
@@ -49,7 +50,7 @@ func unpackFlush(pkt []amba.Word, outIRQMask, predIRQMask uint32) ([]Entry, erro
 		return nil, fmt.Errorf("core: flush packet with %d entries", n)
 	}
 	rest := pkt[1:]
-	entries := make([]Entry, 0, n)
+	entries := dst
 	var err error
 	for i := 0; i < n; i++ {
 		var e Entry
@@ -72,16 +73,16 @@ func unpackFlush(pkt []amba.Word, outIRQMask, predIRQMask uint32) ([]Entry, erro
 	return entries, nil
 }
 
-// packReport encodes a follow-up report: success (all predictions held,
-// actual is the lagger contribution for the final entry) or failure at
-// index idx (actual is the lagger contribution for that cycle).
-func packReport(success bool, idx int, actual amba.PartialState) []amba.Word {
+// packReport appends a follow-up report to dst: success (all
+// predictions held, actual is the lagger contribution for the final
+// entry) or failure at index idx (actual is the lagger contribution for
+// that cycle).
+func packReport(dst []amba.Word, success bool, idx int, actual amba.PartialState) []amba.Word {
 	status := reportSuccess
 	if !success {
 		status = amba.Word(idx)
 	}
-	out := make([]amba.Word, 0, 8)
-	out = append(out, status)
+	out := append(dst, status)
 	return actual.Pack(out)
 }
 

@@ -245,29 +245,38 @@ type predictorSnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (p *remotePredictor) Save() any {
-	s := predictorSnap{
-		Req:      p.req.Save(),
-		IRQ:      p.irq.Save(),
-		Trackers: make(map[int]any, len(p.trackers)),
-		Waits:    make(map[int]any, len(p.waits)),
-		DefErr:   p.defErr,
-		LastV:    p.lastValid,
-		LastFull: p.lastFull,
-		Pending:  p.pendingDP,
+func (p *remotePredictor) Save() any { return p.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter: the snapshot struct,
+// its maps and the per-tracker state buffers inside them are all
+// recycled from prev, so the once-per-transition store allocates
+// nothing in the steady state.
+func (p *remotePredictor) SaveInto(prev any) any {
+	s, ok := prev.(*predictorSnap)
+	if !ok {
+		s = &predictorSnap{
+			Trackers: make(map[int]any, len(p.trackers)),
+			Waits:    make(map[int]any, len(p.waits)),
+		}
 	}
+	s.Req = p.req.SaveInto(s.Req)
+	s.IRQ = p.irq.SaveInto(s.IRQ)
+	s.DefErr = p.defErr
+	s.LastV = p.lastValid
+	s.LastFull = p.lastFull
+	s.Pending = p.pendingDP
 	for i, t := range p.trackers {
-		s.Trackers[i] = t.Save()
+		s.Trackers[i] = t.SaveInto(s.Trackers[i])
 	}
 	for i, w := range p.waits {
-		s.Waits[i] = w.Save()
+		s.Waits[i] = w.SaveInto(s.Waits[i])
 	}
 	return s
 }
 
 // Restore implements rollback.Snapshotter.
 func (p *remotePredictor) Restore(v any) {
-	s, ok := v.(predictorSnap)
+	s, ok := v.(*predictorSnap)
 	if !ok {
 		panic(fmt.Sprintf("core: predictor: bad snapshot %T", v))
 	}

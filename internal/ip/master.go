@@ -54,16 +54,50 @@ type BeatResult struct {
 	Resp  amba.Resp
 }
 
-// activeXfer is the in-flight transfer with its precomputed beat
-// addresses and issue bookkeeping.
+// activeXfer is the in-flight transfer with its issue bookkeeping. Beat
+// addresses are derived on demand so the state is fully value-typed:
+// snapshots are plain struct copies with nothing to alias.
 type activeXfer struct {
 	Valid     bool
 	X         Xfer
-	Addrs     []amba.Addr
 	Beats     int
 	Issue     int  // next beat index to present on the address phase
 	Restarted bool // remainder reissued as INCR after retry/grant loss
 	BusyFor   int  // beat index a BUSY was already inserted for (-1 none)
+
+	// Memoized beat-address cursor: the addresses of beats MemoIdx and
+	// MemoIdx-1. The per-cycle callers (issue at Issue, data phase at
+	// Issue-1) advance monotonically, so addr stays O(1) amortized per
+	// beat without materializing the burst's address sequence. Purely a
+	// cache of X — value-copied snapshots stay consistent.
+	MemoIdx  int
+	MemoAddr amba.Addr
+	MemoPrev amba.Addr
+}
+
+// addr returns the address of beat i, following the original burst's
+// address sequence (wrap points included) even after an INCR restart.
+func (a *activeXfer) addr(i int) amba.Addr {
+	switch {
+	case i == a.MemoIdx:
+		return a.MemoAddr
+	case i == a.MemoIdx-1 && i >= 0:
+		return a.MemoPrev
+	case i == a.MemoIdx+1:
+		a.MemoPrev = a.MemoAddr
+		a.MemoAddr = amba.NextAddr(a.MemoAddr, a.X.Size, a.X.Burst)
+		a.MemoIdx = i
+		return a.MemoAddr
+	}
+	// Rare (beat reissue after retry or restart): rebuild the cursor by
+	// walking from the burst start.
+	a.MemoIdx, a.MemoAddr, a.MemoPrev = 0, a.X.Addr, a.X.Addr
+	for a.MemoIdx < i {
+		a.MemoPrev = a.MemoAddr
+		a.MemoAddr = amba.NextAddr(a.MemoAddr, a.X.Size, a.X.Burst)
+		a.MemoIdx++
+	}
+	return a.MemoAddr
 }
 
 // masterState is everything a TrafficMaster must roll back.
@@ -147,8 +181,8 @@ func (m *TrafficMaster) fetch() {
 		return
 	}
 	beats := x.Beats()
-	addrs := amba.BurstAddrs(x.Addr, x.Size, x.Burst, beats)
-	m.st.Cur = activeXfer{Valid: true, X: x, Addrs: addrs, Beats: beats, BusyFor: -1}
+	m.st.Cur = activeXfer{Valid: true, X: x, Beats: beats, BusyFor: -1,
+		MemoAddr: x.Addr, MemoPrev: x.Addr}
 	m.st.Gap = x.Gap
 	m.st.NeedNS = true
 }
@@ -160,7 +194,7 @@ func (m *TrafficMaster) beatWData(i int) amba.Word {
 	if i < len(x.Data) {
 		raw = x.Data[i]
 	}
-	a := m.st.Cur.Addrs[i]
+	a := m.st.Cur.addr(i)
 	return ExtractLanes(raw<<laneShift(a, x.Size), a, x.Size)
 }
 
@@ -206,14 +240,14 @@ func (m *TrafficMaster) buildAP() amba.AddrPhase {
 		burst = amba.BurstIncr
 	}
 	ap := amba.AddrPhase{
-		Addr:  cur.Addrs[i],
+		Addr:  cur.addr(i),
 		Write: cur.X.Write,
 		Size:  cur.X.Size,
 		Burst: burst,
 		Prot:  amba.ProtData,
 	}
 	needNS := m.st.NeedNS
-	if !needNS && cur.Restarted && cur.Addrs[i] != cur.Addrs[i-1]+amba.Addr(cur.X.Size.Bytes()) {
+	if !needNS && cur.Restarted && cur.addr(i) != cur.addr(i-1)+amba.Addr(cur.X.Size.Bytes()) {
 		// Discontinuity in the reissued INCR remainder (a wrap point of
 		// the original burst): a fresh NONSEQ is required.
 		needNS = true
@@ -312,7 +346,7 @@ func (m *TrafficMaster) finish() {
 // logBeat appends the result of beat i.
 func (m *TrafficMaster) logBeat(i int, rdata amba.Word, resp amba.Resp) {
 	cur := &m.st.Cur
-	a := cur.Addrs[i]
+	a := cur.addr(i)
 	sz := cur.X.Size
 	var data amba.Word
 	if cur.X.Write {
@@ -326,21 +360,30 @@ func (m *TrafficMaster) logBeat(i int, rdata amba.Word, resp amba.Resp) {
 	m.st.LogLen = len(m.log)
 }
 
-// masterSnap freezes a TrafficMaster.
+// masterSnap freezes a TrafficMaster. masterState is fully value-typed
+// apart from Xfer.Data, which generators never mutate after handing the
+// transfer out, so a struct copy is a deep copy.
 type masterSnap struct {
 	St masterState
-	// Addrs aliases are safe: activeXfer.Addrs is never mutated in
-	// place, only replaced wholesale by fetch/finish.
 }
 
 // Save implements rollback.Snapshotter.
-func (m *TrafficMaster) Save() any {
-	return masterSnap{St: m.st}
+func (m *TrafficMaster) Save() any { return m.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a master.
+func (m *TrafficMaster) SaveInto(prev any) any {
+	s, ok := prev.(*masterSnap)
+	if !ok {
+		s = new(masterSnap)
+	}
+	s.St = m.st
+	return s
 }
 
 // Restore implements rollback.Snapshotter.
 func (m *TrafficMaster) Restore(v any) {
-	s, ok := v.(masterSnap)
+	s, ok := v.(*masterSnap)
 	if !ok {
 		panic(fmt.Sprintf("ip: master %s: bad snapshot %T", m.name, v))
 	}

@@ -17,18 +17,31 @@ import (
 // Deterministic wait profiles are what makes slave responses
 // "predictable" in the paper's sense: the leader-side response predictor
 // runs the same producer-consumer model and stays at 100 % accuracy.
+// Memory pages. Storage is a sparse table of lazily-allocated 4 KB
+// pages rather than a byte map: a word-aligned access never crosses a
+// page, so a beat costs one table lookup plus array indexing instead of
+// four map operations — the difference between the bus hot loop being
+// map-bound and memory access being noise.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type memPage [pageSize]byte
+
 type Memory struct {
 	name      string
 	firstWait int
 	nextWait  int
 
-	mem      map[amba.Addr]byte
+	pages    map[amba.Addr]*memPage // key: addr >> pageShift
 	waitLeft int
 	inBurst  bool
 	reads    int64
 	writes   int64
 
-	// Journal mode: instead of deep-copying the byte map on every Save
+	// Journal mode: instead of deep-copying the pages on every Save
 	// (O(footprint)), record an undo entry per overwritten byte and
 	// rewind on Restore (O(bytes written since the save)). The leader
 	// snapshots once per transition, so this is the difference between
@@ -39,10 +52,11 @@ type Memory struct {
 }
 
 // undoByte is one journal entry: the previous content of a byte cell.
+// A byte never written before undoes to zero, which is also what a
+// pristine cell reads, so no existence flag is needed.
 type undoByte struct {
-	Addr    amba.Addr
-	Old     byte
-	Existed bool
+	Addr amba.Addr
+	Old  byte
 }
 
 // Journaler is implemented by components supporting O(1) snapshots via
@@ -64,7 +78,7 @@ func NewMemory(name string, firstWait, nextWait int) *Memory {
 		name:      name,
 		firstWait: firstWait,
 		nextWait:  nextWait,
-		mem:       make(map[amba.Addr]byte),
+		pages:     make(map[amba.Addr]*memPage),
 		waitLeft:  -1,
 	}
 }
@@ -78,26 +92,50 @@ func (s *Memory) Name() string { return s.name }
 // Stats returns completed read and write beats.
 func (s *Memory) Stats() (reads, writes int64) { return s.reads, s.writes }
 
+// pageFor returns the page containing a, lazily allocating it when
+// create is set (nil otherwise).
+func (s *Memory) pageFor(a amba.Addr, create bool) *memPage {
+	p := s.pages[a>>pageShift]
+	if p == nil && create {
+		p = new(memPage)
+		s.pages[a>>pageShift] = p
+	}
+	return p
+}
+
 // Poke writes one byte directly, for test setup.
-func (s *Memory) Poke(a amba.Addr, b byte) { s.mem[a] = b }
+func (s *Memory) Poke(a amba.Addr, b byte) { s.pageFor(a, true)[a&pageMask] = b }
 
 // Peek reads one byte directly, for test inspection.
-func (s *Memory) Peek(a amba.Addr) byte { return s.mem[a] }
+func (s *Memory) Peek(a amba.Addr) byte {
+	p := s.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[a&pageMask]
+}
 
 // PokeWord writes a 32-bit word at a word-aligned address.
 func (s *Memory) PokeWord(a amba.Addr, w amba.Word) {
 	a &^= 3
+	p := s.pageFor(a, true)
+	off := a & pageMask
 	for i := 0; i < 4; i++ {
-		s.mem[a+amba.Addr(i)] = byte(w >> (8 * uint(i)))
+		p[off+amba.Addr(i)] = byte(w >> (8 * uint(i)))
 	}
 }
 
 // PeekWord reads a 32-bit word at a word-aligned address.
 func (s *Memory) PeekWord(a amba.Addr) amba.Word {
 	a &^= 3
+	p := s.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	off := a & pageMask
 	var w amba.Word
 	for i := 0; i < 4; i++ {
-		w |= amba.Word(s.mem[a+amba.Addr(i)]) << (8 * uint(i))
+		w |= amba.Word(p[off+amba.Addr(i)]) << (8 * uint(i))
 	}
 	return w
 }
@@ -137,14 +175,19 @@ func (s *Memory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 func (s *Memory) WriteCommit(ap amba.AddrPhase, wdata amba.Word) {
 	base := ap.Addr &^ 3
 	m := laneMask(ap.Addr, ap.Size)
+	p := s.pageFor(base, true)
+	off := base & pageMask
 	for i := 0; i < 4; i++ {
 		if m&(0xff<<(8*uint(i))) != 0 {
-			a := base + amba.Addr(i)
-			if s.journaling {
-				old, existed := s.mem[a]
-				s.journal = append(s.journal, undoByte{Addr: a, Old: old, Existed: existed})
+			idx := off + amba.Addr(i)
+			// Undo entries are recorded only once a Save exists: writes
+			// before the first save can never be rolled across, and a
+			// never-saved memory (the lagger's, in a fixed-leader run)
+			// must not grow an unbounded journal.
+			if s.journaling && s.saveSeq > 0 {
+				s.journal = append(s.journal, undoByte{Addr: base + amba.Addr(i), Old: p[idx]})
 			}
-			s.mem[a] = byte(wdata >> (8 * uint(i)))
+			p[idx] = byte(wdata >> (8 * uint(i)))
 		}
 	}
 }
@@ -173,7 +216,7 @@ func (s *Memory) TickIdle() { s.inBurst = false }
 // memorySnap freezes a Memory. In journal mode Mem is nil and Seq pins
 // the snapshot to the most recent Save.
 type memorySnap struct {
-	Mem      map[amba.Addr]byte
+	Mem      map[amba.Addr]*memPage
 	Seq      uint64
 	WaitLeft int
 	InBurst  bool
@@ -182,25 +225,57 @@ type memorySnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (s *Memory) Save() any {
-	snap := memorySnap{WaitLeft: s.waitLeft, InBurst: s.inBurst, Reads: s.reads, Writes: s.writes}
+func (s *Memory) Save() any { return s.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter. In journal mode the
+// save is O(1) and, with a recycled prev, allocation-free; otherwise
+// the byte map is deep-copied into prev's map (cleared first) or a
+// fresh one.
+func (s *Memory) SaveInto(prev any) any {
+	snap, ok := prev.(*memorySnap)
+	if !ok {
+		snap = new(memorySnap)
+	}
+	snap.WaitLeft = s.waitLeft
+	snap.InBurst = s.inBurst
+	snap.Reads = s.reads
+	snap.Writes = s.writes
 	if s.journaling {
 		s.journal = s.journal[:0]
 		s.saveSeq++
 		snap.Seq = s.saveSeq
+		snap.Mem = nil
 		return snap
 	}
-	cp := make(map[amba.Addr]byte, len(s.mem))
-	for k, v := range s.mem {
-		cp[k] = v
+	snap.Seq = 0
+	if snap.Mem == nil {
+		snap.Mem = make(map[amba.Addr]*memPage, len(s.pages))
 	}
-	snap.Mem = cp
+	copyPages(snap.Mem, s.pages)
 	return snap
+}
+
+// copyPages deep-copies src into dst, recycling dst's page buffers and
+// dropping keys absent from src.
+func copyPages(dst, src map[amba.Addr]*memPage) {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	for k, sp := range src {
+		dp := dst[k]
+		if dp == nil {
+			dp = new(memPage)
+			dst[k] = dp
+		}
+		*dp = *sp
+	}
 }
 
 // Restore implements rollback.Snapshotter.
 func (s *Memory) Restore(v any) {
-	snap, ok := v.(memorySnap)
+	snap, ok := v.(*memorySnap)
 	if !ok {
 		panic(fmt.Sprintf("ip: memory %s: bad snapshot %T", s.name, v))
 	}
@@ -211,18 +286,13 @@ func (s *Memory) Restore(v any) {
 		}
 		for i := len(s.journal) - 1; i >= 0; i-- {
 			u := s.journal[i]
-			if u.Existed {
-				s.mem[u.Addr] = u.Old
-			} else {
-				delete(s.mem, u.Addr)
-			}
+			// The page exists: the journal entry was recorded by the
+			// write that dirtied it.
+			s.pages[u.Addr>>pageShift][u.Addr&pageMask] = u.Old
 		}
 		s.journal = s.journal[:0]
 	} else {
-		s.mem = make(map[amba.Addr]byte, len(snap.Mem))
-		for k, b := range snap.Mem {
-			s.mem[k] = b
-		}
+		copyPages(s.pages, snap.Mem)
 	}
 	s.waitLeft = snap.WaitLeft
 	s.inBurst = snap.InBurst
@@ -266,13 +336,24 @@ type jitterSnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (j *JitterMemory) Save() any {
-	return jitterSnap{Mem: j.Memory.Save(), Rng: j.rng.Save()}
+func (j *JitterMemory) Save() any { return j.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter. Wrappers around
+// Memory must define their own SaveInto: the embedded Memory's would
+// otherwise be promoted and snapshot only the memory half.
+func (j *JitterMemory) SaveInto(prev any) any {
+	s, ok := prev.(*jitterSnap)
+	if !ok {
+		s = new(jitterSnap)
+	}
+	s.Mem = j.Memory.SaveInto(s.Mem)
+	s.Rng = j.rng.SaveInto(s.Rng)
+	return s
 }
 
 // Restore implements rollback.Snapshotter.
 func (j *JitterMemory) Restore(v any) {
-	s, ok := v.(jitterSnap)
+	s, ok := v.(*jitterSnap)
 	if !ok {
 		panic(fmt.Sprintf("ip: jitter memory: bad snapshot %T", v))
 	}
@@ -497,17 +578,29 @@ type splitSnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (s *SplitMemory) Save() any {
-	return splitSnap{
-		Mem: s.Memory.Save(), BeatCount: s.beatCount, Phase: s.phase,
-		SplitDone: s.splitDone, PendingMaster: s.pendingMaster,
-		Countdown: s.countdown, Release: s.release, Splits: s.splits,
+func (s *SplitMemory) Save() any { return s.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter (wrappers must
+// override the embedded Memory's SaveInto; see JitterMemory.SaveInto).
+func (s *SplitMemory) SaveInto(prev any) any {
+	snap, ok := prev.(*splitSnap)
+	if !ok {
+		snap = new(splitSnap)
 	}
+	snap.Mem = s.Memory.SaveInto(snap.Mem)
+	snap.BeatCount = s.beatCount
+	snap.Phase = s.phase
+	snap.SplitDone = s.splitDone
+	snap.PendingMaster = s.pendingMaster
+	snap.Countdown = s.countdown
+	snap.Release = s.release
+	snap.Splits = s.splits
+	return snap
 }
 
 // Restore implements rollback.Snapshotter.
 func (s *SplitMemory) Restore(v any) {
-	snap, ok := v.(splitSnap)
+	snap, ok := v.(*splitSnap)
 	if !ok {
 		panic(fmt.Sprintf("ip: split memory: bad snapshot %T", v))
 	}
@@ -531,13 +624,26 @@ type retrySnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (r *RetryMemory) Save() any {
-	return retrySnap{Mem: r.Memory.Save(), BeatCount: r.beatCount, RetryPhase: r.retryPhase, RetryDone: r.retryDone, Retries: r.retries}
+func (r *RetryMemory) Save() any { return r.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter (wrappers must
+// override the embedded Memory's SaveInto; see JitterMemory.SaveInto).
+func (r *RetryMemory) SaveInto(prev any) any {
+	s, ok := prev.(*retrySnap)
+	if !ok {
+		s = new(retrySnap)
+	}
+	s.Mem = r.Memory.SaveInto(s.Mem)
+	s.BeatCount = r.beatCount
+	s.RetryPhase = r.retryPhase
+	s.RetryDone = r.retryDone
+	s.Retries = r.retries
+	return s
 }
 
 // Restore implements rollback.Snapshotter.
 func (r *RetryMemory) Restore(v any) {
-	s, ok := v.(retrySnap)
+	s, ok := v.(*retrySnap)
 	if !ok {
 		panic(fmt.Sprintf("ip: retry memory: bad snapshot %T", v))
 	}

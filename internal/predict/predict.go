@@ -38,15 +38,27 @@ func (l *LastValue) Predict() uint32 { return l.v }
 func (l *LastValue) Observe(v uint32) { l.v = v }
 
 // Save implements rollback.Snapshotter.
-func (l *LastValue) Save() any { return l.v }
+func (l *LastValue) Save() any { return l.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a LastValue (boxing a uint32
+// heap-allocates once the value leaves the runtime's small-int cache).
+func (l *LastValue) SaveInto(prev any) any {
+	v, ok := prev.(*uint32)
+	if !ok {
+		v = new(uint32)
+	}
+	*v = l.v
+	return v
+}
 
 // Restore implements rollback.Snapshotter.
 func (l *LastValue) Restore(s any) {
-	v, ok := s.(uint32)
+	v, ok := s.(*uint32)
 	if !ok {
 		panic(fmt.Sprintf("predict: lastvalue: bad snapshot %T", s))
 	}
-	l.v = v
+	l.v = *v
 }
 
 // BurstTracker predicts the address/control signals of a remote bus
@@ -193,15 +205,26 @@ func (t *BurstTracker) Predict() (amba.AddrPhase, bool) {
 }
 
 // Save implements rollback.Snapshotter.
-func (t *BurstTracker) Save() any { return t.st }
+func (t *BurstTracker) Save() any { return t.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a tracker.
+func (t *BurstTracker) SaveInto(prev any) any {
+	st, ok := prev.(*burstState)
+	if !ok {
+		st = new(burstState)
+	}
+	*st = t.st
+	return st
+}
 
 // Restore implements rollback.Snapshotter.
 func (t *BurstTracker) Restore(s any) {
-	st, ok := s.(burstState)
+	st, ok := s.(*burstState)
 	if !ok {
 		panic(fmt.Sprintf("predict: bursttracker: bad snapshot %T", s))
 	}
-	t.st = st
+	t.st = *st
 }
 
 // WaitModel predicts a slave's HREADY sequence with the same
@@ -264,15 +287,26 @@ func (w *WaitModel) Observe(ready bool) {
 }
 
 // Save implements rollback.Snapshotter.
-func (w *WaitModel) Save() any { return w.st }
+func (w *WaitModel) Save() any { return w.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a wait model.
+func (w *WaitModel) SaveInto(prev any) any {
+	st, ok := prev.(*waitState)
+	if !ok {
+		st = new(waitState)
+	}
+	*st = w.st
+	return st
+}
 
 // Restore implements rollback.Snapshotter.
 func (w *WaitModel) Restore(s any) {
-	st, ok := s.(waitState)
+	st, ok := s.(*waitState)
 	if !ok {
 		panic(fmt.Sprintf("predict: waitmodel: bad snapshot %T", s))
 	}
-	w.st = st
+	w.st = *st
 }
 
 // FaultInjector pins prediction accuracy for the evaluation sweeps: each

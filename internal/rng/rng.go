@@ -62,13 +62,25 @@ func (r *Source) Bool(p float64) bool {
 }
 
 // Save implements rollback.Snapshotter.
-func (r *Source) Save() any { return r.s }
+func (r *Source) Save() any { return r.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a source (boxing the raw
+// uint64 state would heap-allocate on almost every save).
+func (r *Source) SaveInto(prev any) any {
+	p, ok := prev.(*uint64)
+	if !ok {
+		p = new(uint64)
+	}
+	*p = r.s
+	return p
+}
 
 // Restore implements rollback.Snapshotter.
 func (r *Source) Restore(v any) {
-	s, ok := v.(uint64)
+	s, ok := v.(*uint64)
 	if !ok {
 		panic("rng: bad snapshot type")
 	}
-	r.s = s
+	r.s = *s
 }

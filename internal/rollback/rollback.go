@@ -26,6 +26,22 @@ type Snapshotter interface {
 	Restore(any)
 }
 
+// InPlaceSnapshotter is an optional extension of Snapshotter for
+// components on the once-per-transition store path. SaveInto behaves
+// like Save but may recycle prev — a value previously returned by Save
+// or SaveInto of the same component — instead of heap-allocating a
+// fresh snapshot. Passing nil (or a foreign value) must fall back to
+// allocating, so SaveInto(nil) is always equivalent to Save().
+//
+// The contract mirrors the leader's rollback discipline: at most one
+// snapshot is live at a time, so recycling the previous transition's
+// buffers is safe. Callers that need overlapping snapshot lifetimes
+// (tests, checkpointing) must keep using Save.
+type InPlaceSnapshotter interface {
+	Snapshotter
+	SaveInto(prev any) any
+}
+
 // CostModel prices a store or restore of n rollback variables.
 type CostModel struct {
 	// StoreBase/RestoreBase are fixed per-operation costs.
@@ -77,6 +93,7 @@ type Registry struct {
 type entry struct {
 	name string
 	s    Snapshotter
+	ips  InPlaceSnapshotter // non-nil when s supports in-place saves
 }
 
 // Snapshot is an atomic capture of a whole Registry.
@@ -95,7 +112,8 @@ func (r *Registry) Register(name string, s Snapshotter, vars int) {
 	if vars < 0 {
 		panic(fmt.Sprintf("rollback: negative var count for %q", name))
 	}
-	r.snaps = append(r.snaps, entry{name, s})
+	ips, _ := s.(InPlaceSnapshotter)
+	r.snaps = append(r.snaps, entry{name, s, ips})
 	r.vars += vars
 }
 
@@ -105,13 +123,34 @@ func (r *Registry) Vars() int { return r.vars }
 // Components returns how many snapshotters are registered.
 func (r *Registry) Components() int { return len(r.snaps) }
 
-// Save captures every registered component.
+// Save captures every registered component into a fresh Snapshot.
 func (r *Registry) Save() Snapshot {
 	vals := make([]any, len(r.snaps))
 	for i, e := range r.snaps {
 		vals[i] = e.s.Save()
 	}
 	return Snapshot{values: vals, n: len(r.snaps)}
+}
+
+// SaveInto captures every registered component into dst, recycling the
+// buffers of whatever dst previously held. Components implementing
+// InPlaceSnapshotter save without heap allocation; the rest fall back
+// to Save. The previous contents of dst are invalidated — SaveInto is
+// for the leader's single-live-snapshot store path, not for keeping
+// multiple checkpoints (use Save for that).
+func (r *Registry) SaveInto(dst *Snapshot) {
+	if cap(dst.values) < len(r.snaps) {
+		dst.values = make([]any, len(r.snaps))
+	}
+	dst.values = dst.values[:len(r.snaps)]
+	dst.n = len(r.snaps)
+	for i, e := range r.snaps {
+		if e.ips != nil {
+			dst.values[i] = e.ips.SaveInto(dst.values[i])
+		} else {
+			dst.values[i] = e.s.Save()
+		}
+	}
 }
 
 // Restore rewinds every registered component to the snapshot. Restoring

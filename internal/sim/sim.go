@@ -47,15 +47,26 @@ func (c *Clock) Advance() int64 {
 }
 
 // Save returns an opaque snapshot of the clock.
-func (c *Clock) Save() any { return c.cycle }
+func (c *Clock) Save() any { return c.SaveInto(nil) }
+
+// SaveInto behaves like Save but recycles prev when it came from an
+// earlier Save/SaveInto of a clock (rollback.InPlaceSnapshotter).
+func (c *Clock) SaveInto(prev any) any {
+	v, ok := prev.(*int64)
+	if !ok {
+		v = new(int64)
+	}
+	*v = c.cycle
+	return v
+}
 
 // Restore rewinds the clock to a snapshot produced by Save.
 func (c *Clock) Restore(s any) {
-	v, ok := s.(int64)
+	v, ok := s.(*int64)
 	if !ok {
 		panic(fmt.Sprintf("sim: bad clock snapshot %T", s))
 	}
-	c.cycle = v
+	c.cycle = *v
 }
 
 // Reset implements Resettable.

@@ -132,15 +132,26 @@ func (s *Stream) Next() (ip.Xfer, bool) {
 }
 
 // Save implements rollback.Snapshotter.
-func (s *Stream) Save() any { return s.st }
+func (s *Stream) Save() any { return s.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a stream.
+func (s *Stream) SaveInto(prev any) any {
+	st, ok := prev.(*streamState)
+	if !ok {
+		st = new(streamState)
+	}
+	*st = s.st
+	return st
+}
 
 // Restore implements rollback.Snapshotter.
 func (s *Stream) Restore(v any) {
-	st, ok := v.(streamState)
+	st, ok := v.(*streamState)
 	if !ok {
 		panic(fmt.Sprintf("workload: stream: bad snapshot %T", v))
 	}
-	s.st = st
+	s.st = *st
 }
 
 // DMACopy alternates read bursts from a source window with write bursts
@@ -207,15 +218,26 @@ func (d *DMACopy) Next() (ip.Xfer, bool) {
 }
 
 // Save implements rollback.Snapshotter.
-func (d *DMACopy) Save() any { return d.st }
+func (d *DMACopy) Save() any { return d.SaveInto(nil) }
+
+// SaveInto implements rollback.InPlaceSnapshotter, recycling prev when
+// it came from an earlier Save/SaveInto of a DMA generator.
+func (d *DMACopy) SaveInto(prev any) any {
+	st, ok := prev.(*dmaState)
+	if !ok {
+		st = new(dmaState)
+	}
+	*st = d.st
+	return st
+}
 
 // Restore implements rollback.Snapshotter.
 func (d *DMACopy) Restore(v any) {
-	st, ok := v.(dmaState)
+	st, ok := v.(*dmaState)
 	if !ok {
 		panic(fmt.Sprintf("workload: dma: bad snapshot %T", v))
 	}
-	d.st = st
+	d.st = *st
 }
 
 // CPU emits randomized single transfers and short bursts across a set of
