@@ -5,6 +5,11 @@
 //
 //	coemu -mode als -workload stream -cycles 50000
 //	coemu -mode auto -workload duplex -accuracy 0.9 -lob 128
+//	coemu -spec examples/quickstart/spec.json
+//
+// With -spec, the design, configuration and cycle budget all come from
+// the declarative JSON spec (see internal/spec) and the other scenario
+// flags are ignored.
 package main
 
 import (
@@ -33,7 +38,28 @@ func main() {
 	predictIdle := flag.Bool("predict-idle", false, "extension: predict idle continuation of remote masters")
 	predictStarts := flag.Bool("predict-starts", false, "extension: predict burst starts by stride")
 	adaptive := flag.Bool("adaptive", false, "extension: adaptive conservative fallback governor")
+	specPath := flag.String("spec", "", "run a declarative JSON spec file (ignores the scenario flags)")
 	flag.Parse()
+
+	if *specPath != "" {
+		s, err := coemu.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d, cfg, err := s.Compile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rep, err := coemu.Run(d, cfg, s.Run.Cycles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		print(rep)
+		return
+	}
 
 	m, ok := map[string]coemu.Mode{
 		"conservative": coemu.Conservative,

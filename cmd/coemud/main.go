@@ -1,0 +1,302 @@
+// Command coemud serves co-emulation runs over HTTP: clients submit
+// declarative JSON run specs (see internal/spec) and get back the full
+// modeled report. A bounded worker pool executes runs in parallel,
+// duplicate specs coalesce onto one run, and an LRU cache keyed by the
+// canonical spec hash answers repeats with bit-identical reports.
+// In-flight runs cancel within one domain cycle when the submitting
+// client aborts or the server shuts down.
+//
+//	coemud -addr :8080 -j 8 -cache 256
+//
+// API (JSON in, JSON out):
+//
+//	POST   /v1/run              run a spec synchronously; the report is
+//	                            the response body. Aborting the request
+//	                            cancels the run (unless another client
+//	                            shares it).
+//	POST   /v1/jobs             submit a spec asynchronously; returns
+//	                            {id, hash, status, cached}.
+//	GET    /v1/jobs             list known jobs, newest first.
+//	GET    /v1/jobs/{id}        job status.
+//	GET    /v1/jobs/{id}/result block until the job completes, then
+//	                            return its report.
+//	DELETE /v1/jobs/{id}        cancel a job.
+//	POST   /v1/sweep            {"specs": [spec, ...]}: run a batch on
+//	                            the pool; returns per-spec results in
+//	                            input order.
+//	GET    /v1/stats            worker/cache counters.
+//	GET    /healthz             liveness.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"coemu/internal/service"
+	"coemu/internal/spec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("j", runtime.NumCPU(), "worker pool width (parallel engine runs)")
+	cache := flag.Int("cache", 128, "result cache capacity in reports (negative disables)")
+	queue := flag.Int("queue", 256, "pending job queue depth")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	flag.Parse()
+
+	svc := service.New(service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newMux(svc, *maxBody),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("coemud listening on %s (%d workers, cache %d)", *addr, *jobs, *cache)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Cancel the in-flight runs concurrently with draining connections:
+	// handlers blocked in job.Wait unblock only once their jobs cancel,
+	// so closing the service must not wait for Shutdown to return. The
+	// engine's domain-cycle cancellation keeps the whole drain prompt.
+	svcClosed := make(chan struct{})
+	go func() {
+		svc.Close()
+		close(svcClosed)
+	}()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	<-svcClosed
+}
+
+// newMux builds the HTTP API around a job service.
+func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses, size := svc.CacheStats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"cache_hits":   hits,
+			"cache_misses": misses,
+			"cache_size":   size,
+			"jobs":         svc.JobCount(),
+		})
+	})
+
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := readSpec(w, r, maxBody)
+		if !ok {
+			return
+		}
+		// Ephemeral: if this client aborts and nobody else shares the
+		// job, the run is canceled.
+		job, err := svc.Submit(sp, true)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		rep, err := job.Wait(r.Context())
+		if err != nil {
+			writeRunError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, service.NewReportView(rep))
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		sp, ok := readSpec(w, r, maxBody)
+		if !ok {
+			return
+		}
+		job, err := svc.Submit(sp, false)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.Info())
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Jobs())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := svc.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Info())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, err := svc.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		rep, err := job.Wait(r.Context())
+		if err != nil {
+			writeRunError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, service.NewReportView(rep))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := svc.Cancel(r.PathValue("id")); err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "canceling"})
+	})
+
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var batch struct {
+			Specs []json.RawMessage `json:"specs"`
+		}
+		if !readBody(w, r, maxBody, &batch) {
+			return
+		}
+		if len(batch.Specs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("sweep: no specs"))
+			return
+		}
+		type result struct {
+			Hash   string              `json:"hash,omitempty"`
+			Report *service.ReportView `json:"report,omitempty"`
+			Error  string              `json:"error,omitempty"`
+		}
+		results := make([]result, len(batch.Specs))
+		var wg sync.WaitGroup
+		for i, raw := range batch.Specs {
+			sp, err := spec.Parse(raw)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			job, err := svc.Submit(sp, true)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+			results[i].Hash = job.Hash()
+			wg.Add(1)
+			go func(i int, job *service.Job) {
+				defer wg.Done()
+				rep, err := job.Wait(r.Context())
+				if err != nil {
+					results[i].Error = err.Error()
+					return
+				}
+				results[i].Report = service.NewReportView(rep)
+			}(i, job)
+		}
+		wg.Wait()
+		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+	})
+
+	return mux
+}
+
+// readSpec decodes a spec request body, reporting HTTP errors itself.
+func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	if int64(len(body)) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body over %d bytes", maxBody))
+		return nil, false
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return sp, true
+}
+
+// readBody decodes an arbitrary JSON request body.
+func readBody(w http.ResponseWriter, r *http.Request, maxBody int64, into any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if int64(len(body)) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body over %d bytes", maxBody))
+		return false
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// writeSubmitError maps Submit failures to HTTP statuses.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, service.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// writeRunError maps Wait failures to HTTP statuses.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client went away or the job was canceled under it.
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coemu/internal/service"
+)
+
+func specJSON(cycles int64) string {
+	return fmt.Sprintf(`{
+	  "design": {
+	    "masters": [{"name": "dma", "domain": "acc",
+	      "generator": {"kind": "stream", "window": {"lo": 0, "hi": "0x40000"},
+	                    "write": true, "burst": "INCR8"}}],
+	    "slaves": [{"name": "mem", "domain": "sim", "kind": "sram",
+	      "region": {"lo": 0, "hi": "0x80000"}}]
+	  },
+	  "run": {"mode": "als", "cycles": %d}
+	}`, cycles)
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Options{Workers: 2})
+	ts := httptest.NewServer(newMux(svc, 1<<20))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func TestRunEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := post(t, ts.URL+"/v1/run", specJSON(2000))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var view service.ReportView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Cycles != 2000 || view.Mode != "ALS" {
+		t.Fatalf("report %+v", view)
+	}
+	if view.Stats.Committed != 2000 {
+		t.Fatalf("committed %d cycles", view.Stats.Committed)
+	}
+	if view.Perf <= 0 {
+		t.Fatal("non-positive modeled performance")
+	}
+}
+
+func TestDuplicateRunBitIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	code1, body1 := post(t, ts.URL+"/v1/run", specJSON(3000))
+	code2, body2 := post(t, ts.URL+"/v1/run", specJSON(3000))
+	if code1 != 200 || code2 != 200 {
+		t.Fatalf("statuses %d/%d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("duplicate spec served a byte-different report")
+	}
+	// The second run came from the cache.
+	_, statsBody := get(t, ts.URL+"/v1/stats")
+	var st map[string]any
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if hits := st["cache_hits"].(float64); hits < 1 {
+		t.Fatalf("cache hits %v, want >= 1", hits)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := post(t, ts.URL+"/v1/jobs", specJSON(2500))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, body)
+	}
+	var info service.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "" || info.Hash == "" {
+		t.Fatalf("incomplete info %+v", info)
+	}
+
+	code, body = get(t, ts.URL+"/v1/jobs/"+info.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result status %d: %s", code, body)
+	}
+	var view service.ReportView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Cycles != 2500 {
+		t.Fatalf("cycles %d", view.Cycles)
+	}
+
+	code, body = get(t, ts.URL+"/v1/jobs/"+info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != service.StatusDone {
+		t.Fatalf("job status %s, want done", info.Status)
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/jobs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", code)
+	}
+}
+
+func TestClientAbortCancelsRun(t *testing.T) {
+	ts := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/run",
+		strings.NewReader(specJSON(int64(1)<<40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("expected the aborted request to fail")
+	}
+	// The abandoned run must reach a canceled terminal state promptly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/v1/jobs")
+		var jobs []service.Info
+		if err := json.Unmarshal(body, &jobs); err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) == 1 && jobs[0].Status == service.StatusCanceled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not canceled after abort: %+v", jobs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	_, body := post(t, ts.URL+"/v1/jobs", specJSON(int64(1)<<40))
+	var info service.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/v1/jobs/"+info.ID)
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Status == service.StatusCanceled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after cancel", info.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	batch := fmt.Sprintf(`{"specs": [%s, %s, %s]}`,
+		specJSON(1000), specJSON(1500), specJSON(1000))
+	code, body := post(t, ts.URL+"/v1/sweep", batch)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", code, body)
+	}
+	var out struct {
+		Results []struct {
+			Hash   string              `json:"hash"`
+			Report *service.ReportView `json:"report"`
+			Error  string              `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || r.Report == nil {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if out.Results[0].Report.Cycles != 1000 || out.Results[1].Report.Cycles != 1500 {
+		t.Fatal("sweep results out of order")
+	}
+	if out.Results[0].Hash != out.Results[2].Hash {
+		t.Fatal("identical specs hashed differently")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	if code, _ := post(t, ts.URL+"/v1/run", "{"); code != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/run", `{"design":{"masters":[]},"run":{"mode":"als","cycles":10}}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec status %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sweep", `{"specs": []}`); code != http.StatusBadRequest {
+		t.Fatalf("empty sweep status %d", code)
+	}
+}

@@ -5,6 +5,10 @@
 //	  results/figure4.csv         analytic Figure 4, all four series
 //	  results/des_accuracy.csv    executable-engine accuracy sweep
 //	  results/des_lob.csv         executable-engine LOB-depth sweep
+//
+// With -spec file.json, the DES sweeps run the declarative spec's
+// design and base configuration instead of the built-in stream design;
+// the sweep still varies accuracy and LOB depth around that base.
 package main
 
 import (
@@ -22,9 +26,19 @@ import (
 // jobs is the DES worker-pool width (the -j flag).
 var jobs int
 
+// desBase supplies the design, base config and cycle budget the DES
+// sweeps vary around: the built-in stream design by default, or a
+// declarative spec with -spec.
+type desBase struct {
+	design func() coemu.Design
+	cfg    coemu.Config
+	cycles int64
+}
+
 func main() {
 	out := flag.String("out", ".", "output directory")
 	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
+	specPath := flag.String("spec", "", "sweep a declarative JSON spec's design instead of the built-in stream design")
 	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs")
 	flag.Parse()
 	if jobs < 1 {
@@ -33,10 +47,22 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	base := desBase{design: desDesign, cycles: *cycles}
+	if *specPath != "" {
+		s, err := coemu.LoadSpec(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, cfg, err := s.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		base = desBase{design: func() coemu.Design { return d }, cfg: cfg, cycles: s.Run.Cycles}
+	}
 	writeTable2(filepath.Join(*out, "table2.csv"))
 	writeFigure4(filepath.Join(*out, "figure4.csv"))
-	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), *cycles)
-	writeDESLOB(filepath.Join(*out, "des_lob.csv"), *cycles)
+	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), base)
+	writeDESLOB(filepath.Join(*out, "des_lob.csv"), base)
 }
 
 // parMap computes f(0..n-1) on a pool of jobs workers and returns the
@@ -135,19 +161,32 @@ func desDesign() coemu.Design {
 	}
 }
 
-func writeDESAccuracy(path string, cycles int64) {
+// sweepMode picks the optimistic mode the DES sweeps run in: the
+// base's own mode, or ALS when the base is conservative (sweeping a
+// conservative run's accuracy would be a no-op).
+func sweepMode(base desBase) coemu.Mode {
+	if base.cfg.Mode == coemu.Conservative {
+		return coemu.ALS
+	}
+	return base.cfg.Mode
+}
+
+func writeDESAccuracy(path string, base desBase) {
 	f := create(path)
 	defer f.Close()
-	conv, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.Conservative}, cycles)
+	convCfg := base.cfg
+	convCfg.Mode = coemu.Conservative
+	conv, err := coemu.Run(base.design(), convCfg, base.cycles)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "p,perf,ratio,transitions,rollbacks,accesses,words")
 	ps := []float64{1, 0.99, 0.96, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
 	reps := parMap(len(ps), func(i int) *coemu.Report {
-		rep, err := coemu.Run(desDesign(), coemu.Config{
-			Mode: coemu.ALS, Accuracy: ps[i], FaultSeed: 12345, RollbackVars: 1000,
-		}, cycles)
+		cfg := base.cfg
+		cfg.Mode = sweepMode(base)
+		cfg.Accuracy, cfg.FaultSeed, cfg.RollbackVars = ps[i], 12345, 1000
+		rep, err := coemu.Run(base.design(), cfg, base.cycles)
 		if err != nil {
 			fatal(err)
 		}
@@ -161,17 +200,22 @@ func writeDESAccuracy(path string, cycles int64) {
 	}
 }
 
-func writeDESLOB(path string, cycles int64) {
+func writeDESLOB(path string, base desBase) {
 	f := create(path)
 	defer f.Close()
-	conv, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.Conservative}, cycles)
+	convCfg := base.cfg
+	convCfg.Mode = coemu.Conservative
+	conv, err := coemu.Run(base.design(), convCfg, base.cycles)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "lob_words,perf,ratio,mean_transition,accesses")
 	lobs := []int{8, 16, 32, 64, 128, 256, 512, 1024}
 	reps := parMap(len(lobs), func(i int) *coemu.Report {
-		rep, err := coemu.Run(desDesign(), coemu.Config{Mode: coemu.ALS, LOBDepth: lobs[i]}, cycles)
+		cfg := base.cfg
+		cfg.Mode = sweepMode(base)
+		cfg.LOBDepth = lobs[i]
+		rep, err := coemu.Run(base.design(), cfg, base.cycles)
 		if err != nil {
 			fatal(err)
 		}

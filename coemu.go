@@ -46,6 +46,7 @@
 package coemu
 
 import (
+	"context"
 	"io"
 
 	"coemu/internal/amba"
@@ -54,6 +55,7 @@ import (
 	"coemu/internal/device"
 	"coemu/internal/ip"
 	"coemu/internal/perfmodel"
+	"coemu/internal/spec"
 	"coemu/internal/trace"
 	"coemu/internal/workload"
 )
@@ -152,11 +154,19 @@ func NewEngine(d Design, cfg Config) (*Engine, error) { return core.NewEngine(d,
 // Run builds and executes a co-emulation session for the given number
 // of target cycles.
 func Run(d Design, cfg Config, cycles int64) (*Report, error) {
+	return RunContext(context.Background(), d, cfg, cycles)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx at
+// domain-cycle granularity (without allocating in the hot loop), so a
+// cancel or deadline lands within one target cycle of work and the run
+// returns ctx.Err().
+func RunContext(ctx context.Context, d Design, cfg Config, cycles int64) (*Report, error) {
 	e, err := core.NewEngine(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(cycles)
+	return e.RunContext(ctx, cycles)
 }
 
 // RunReference executes the monolithic golden model of the design and
@@ -225,6 +235,21 @@ func NewCPU(windows []Window, writeRatio float64, maxGap int, max int64, seed ui
 
 // NewSequence creates a generator replaying a fixed transfer list.
 func NewSequence(xfers ...Xfer) *workload.Sequence { return workload.NewSequence(xfers...) }
+
+// Declarative design specs.
+
+// Spec is a JSON-serializable description of a complete run: the SoC
+// design (masters, slaves, generators, domain placement) plus the
+// engine configuration and cycle budget. Spec.Compile yields the
+// (Design, Config) pair; Spec.CanonicalHash is the deterministic run
+// identity the coemud result cache keys on.
+type Spec = spec.Spec
+
+// ParseSpec decodes and validates a JSON run spec.
+func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
+
+// LoadSpec reads and parses a JSON run spec file.
+func LoadSpec(path string) (*Spec, error) { return spec.Load(path) }
 
 // Analytic model (the paper's §6 evaluation).
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"coemu/internal/amba"
 	"coemu/internal/bus"
 	"coemu/internal/ip"
+	"coemu/internal/workload"
 )
 
 // Allocation-regression guards for the engine hot path. The steady-state
@@ -77,6 +79,11 @@ func TestConservativeCycleAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Run with a live (non-nil) cancellation channel so the per-cycle
+	// context check is measured on its real RunContext configuration.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.done = ctx.Done()
 	// Warm up: grow the scratch buffers, channel pools and the master's
 	// beat log well past what the measured window will touch.
 	for i := 0; i < 3000; i++ {
@@ -96,11 +103,49 @@ func TestConservativeCycleAllocFree(t *testing.T) {
 	}
 }
 
+// TestALSTransitionAllocFreeWorkloadStream runs the same guard over the
+// real workload.Stream generator: since its per-burst Data slices are
+// pooled (rollback-safely), the full ALS loop — generator included — no
+// longer allocates in steady state.
+func TestALSTransitionAllocFreeWorkloadStream(t *testing.T) {
+	d := allocDesign()
+	d.Masters[0].NewGen = func() ip.Generator {
+		return workload.NewStream(workload.Window{Lo: 0, Hi: 0x4000}, true,
+			amba.BurstIncr8, amba.Size32, 0, 0, 0)
+	}
+	e, err := NewEngine(d, Config{Mode: ALS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transition := func() {
+		leader := e.chooseLeader()
+		if leader == nil {
+			if err := e.conservativeCycle(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		if _, err := e.transition(leader, 1<<30); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		transition()
+	}
+	allocs := testing.AllocsPerRun(20, transition)
+	if allocs != 0 {
+		t.Fatalf("ALS transition over workload.Stream allocated %.1f objects, want 0", allocs)
+	}
+}
+
 func TestALSTransitionAllocFree(t *testing.T) {
 	e, err := NewEngine(allocDesign(), Config{Mode: ALS})
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.done = ctx.Done()
 	transition := func() {
 		leader := e.chooseLeader()
 		if leader == nil {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Cancellation tests for RunContext: an already-canceled context stops
+// the run before any work, and a cancel arriving mid-run lands within
+// the cycle loop rather than waiting for the cycle budget.
+
+func TestRunContextPreCanceled(t *testing.T) {
+	for _, mode := range []Mode{Conservative, ALS} {
+		e, err := NewEngine(allocDesign(), Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		rep, err := e.RunContext(ctx, 1000)
+		if rep != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: pre-canceled run: rep=%v err=%v, want nil/context.Canceled", mode, rep, err)
+		}
+		if e.stats.Committed != 0 {
+			t.Fatalf("%v: pre-canceled run committed %d cycles", mode, e.stats.Committed)
+		}
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	// A cycle budget large enough that only cancellation can end the run
+	// within the test's lifetime.
+	const budget = int64(1) << 40
+	for _, mode := range []Mode{Conservative, ALS} {
+		e, err := NewEngine(allocDesign(), Config{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		rep, err := e.RunContext(ctx, budget)
+		if rep != nil || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: mid-run cancel: rep=%v err=%v, want nil/context.Canceled", mode, rep, err)
+		}
+		if e.stats.Committed == 0 {
+			t.Fatalf("%v: engine made no progress before cancel", mode)
+		}
+		if e.stats.Committed >= budget {
+			t.Fatalf("%v: run completed despite cancel", mode)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("%v: cancel took %v to land", mode, elapsed)
+		}
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	e, err := NewEngine(allocDesign(), Config{Mode: ALS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rep, err := e.RunContext(ctx, int64(1)<<40)
+	if rep != nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run: rep=%v err=%v, want nil/context.DeadlineExceeded", rep, err)
+	}
+}

@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -229,6 +231,37 @@ type Engine struct {
 	packBuf  []amba.Word
 	preds    []amba.PartialState
 	flushEnt []Entry
+
+	// done is the cancellation channel of the active RunContext call
+	// (nil outside one, and for plain Run — a nil channel is never
+	// ready, so the per-cycle check costs one non-blocking select).
+	done <-chan struct{}
+}
+
+// errCanceled is the engine-internal cancellation sentinel. The cycle
+// loop returns this preallocated error so checking for cancellation
+// never allocates; RunContext translates it to the context's own error.
+var errCanceled = errors.New("core: run canceled")
+
+// canceled reports whether the active run's context has been canceled.
+func (e *Engine) canceled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runErr maps the engine-internal cancellation sentinel back to the
+// run context's error; every other failure passes through unchanged.
+func (e *Engine) runErr(ctx context.Context, err error) error {
+	if errors.Is(err, errCanceled) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
 }
 
 // EWMA constants of the adaptive governor: per-check blending and the
@@ -305,6 +338,9 @@ func (e *Engine) commitTrace(cs amba.CycleState) error {
 // conventional way: each domain evaluates and ships its contribution,
 // two channel accesses total (the C-path of the paper's Figure 3).
 func (e *Engine) conservativeCycle() error {
+	if e.canceled() {
+		return errCanceled
+	}
 	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
 	simOut := simD.Evaluate(&e.ledger)
 	e.packBuf = simOut.Pack(e.packBuf[:0])
@@ -449,6 +485,9 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	preds := e.preds[:0]
 	defer func() { e.preds = preds[:0] }()
 	for {
+		if e.canceled() {
+			return committedLead, errCanceled
+		}
 		out := leader.Evaluate(&e.ledger)
 		pred, reason := leader.Predict()
 		entry := Entry{Out: out, Pred: pred, HasPred: true}
@@ -487,6 +526,9 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	// leader's outputs and checks each prediction (L-1).
 	committed := committedLead
 	for i, entry := range got {
+		if e.canceled() {
+			return committed, errCanceled
+		}
 		laggerOut := lagger.Evaluate(&e.ledger)
 		full := lagger.Commit(entry.Out)
 		e.stats.FollowUpCycles++
@@ -560,20 +602,31 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 // Run executes the co-emulation for the given number of target cycles
 // and returns the report.
 func (e *Engine) Run(cycles int64) (*Report, error) {
+	return e.RunContext(context.Background(), cycles)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx between
+// domain cycles (conservative cycles, run-ahead cycles and follow-up
+// cycles alike), so a cancel lands within one target cycle of work.
+// A canceled run returns ctx.Err(); the engine must not be reused
+// afterwards — a transition may have been abandoned mid-flight.
+func (e *Engine) RunContext(ctx context.Context, cycles int64) (*Report, error) {
 	if cycles <= 0 {
 		return nil, fmt.Errorf("core: non-positive cycle count %d", cycles)
 	}
+	e.done = ctx.Done()
+	defer func() { e.done = nil }()
 	for e.stats.Committed < cycles {
 		leader := e.chooseLeader()
 		if leader == nil {
 			if err := e.conservativeCycle(); err != nil {
-				return nil, err
+				return nil, e.runErr(ctx, err)
 			}
 			continue
 		}
 		n, err := e.transition(leader, cycles-e.stats.Committed)
 		if err != nil {
-			return nil, err
+			return nil, e.runErr(ctx, err)
 		}
 		e.transLen.Add(int(n))
 	}

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"coemu/internal/core"
+)
+
+// resultCache is an LRU cache of completed run reports keyed by the
+// canonical spec hash. A hit returns the exact *core.Report pointer the
+// original run produced, so duplicate submissions observe bit-identical
+// results (reports are treated as immutable once published).
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	rep *core.Report
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached report for key, marking it most recently used.
+func (c *resultCache) Get(key string) (*core.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// Put stores a report under key, evicting the least recently used entry
+// when the cache is full. A zero or negative capacity disables caching.
+func (c *resultCache) Put(key string, rep *core.Report) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+}
+
+// Stats returns the hit/miss counters and current size.
+func (c *resultCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,129 @@
+package service
+
+import (
+	"coemu/internal/channel"
+	"coemu/internal/core"
+	"coemu/internal/stats"
+	"coemu/internal/vclock"
+)
+
+// ReportView is the JSON projection of a core.Report. Its encoding is
+// deterministic (fixed struct fields; the decline map has string keys,
+// which encoding/json sorts), so equal reports marshal to equal bytes —
+// the property the cache-hit bit-identity guarantee rests on. The MSABS
+// trace is intentionally excluded: it can dwarf every other field and
+// belongs to the VCD/CSV exporters.
+type ReportView struct {
+	Mode   string `json:"mode"`
+	Cycles int64  `json:"cycles"`
+
+	// VirtualNs is the modeled wall-clock total; Perf the headline
+	// simulation performance in target cycles per modeled second.
+	VirtualNs int64   `json:"virtual_ns"`
+	Perf      float64 `json:"perf_cycles_per_sec"`
+
+	// Costs break the virtual time down by Table 2 row.
+	Costs map[string]CostView `json:"costs"`
+
+	Stats   StatsView     `json:"stats"`
+	Channel channel.Stats `json:"channel"`
+
+	LOBPeakWords      int       `json:"lob_peak_words"`
+	TransitionLengths *HistView `json:"transition_lengths,omitempty"`
+	RollForthLengths  *HistView `json:"roll_forth_lengths,omitempty"`
+}
+
+// CostView is one virtual-time category.
+type CostView struct {
+	TotalNs    int64   `json:"total_ns"`
+	PerCycleNs float64 `json:"per_cycle_ns"`
+	Charges    int64   `json:"charges"`
+}
+
+// StatsView mirrors core.Stats with JSON-friendly field names.
+type StatsView struct {
+	Committed          int64            `json:"committed"`
+	ConservativeCycles int64            `json:"conservative_cycles"`
+	Transitions        int64            `json:"transitions"`
+	TransitionsSimLed  int64            `json:"transitions_sim_led"`
+	TransitionsAccLed  int64            `json:"transitions_acc_led"`
+	RunAheadCycles     int64            `json:"run_ahead_cycles"`
+	FollowUpCycles     int64            `json:"follow_up_cycles"`
+	RollForthCycles    int64            `json:"roll_forth_cycles"`
+	Rollbacks          int64            `json:"rollbacks"`
+	Stores             int64            `json:"stores"`
+	Restores           int64            `json:"restores"`
+	ChecksTotal        int64            `json:"checks_total"`
+	Mispredicts        int64            `json:"mispredicts"`
+	Injected           int64            `json:"injected"`
+	Declines           map[string]int64 `json:"declines,omitempty"`
+}
+
+// HistView summarizes an integer histogram.
+type HistView struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  int     `json:"p50"`
+	P95  int     `json:"p95"`
+	Max  int     `json:"max"`
+}
+
+// NewReportView projects a report for serialization.
+func NewReportView(rep *core.Report) *ReportView {
+	v := &ReportView{
+		Mode:         rep.Mode.String(),
+		Cycles:       rep.Cycles,
+		VirtualNs:    rep.Ledger.Total().Nanoseconds(),
+		Perf:         rep.Perf(),
+		Costs:        make(map[string]CostView, 5),
+		Channel:      rep.Channel,
+		LOBPeakWords: rep.LOBPeakWords,
+	}
+	for _, c := range vclock.Categories() {
+		total := rep.Ledger.Get(c).Nanoseconds()
+		v.Costs[c.String()] = CostView{
+			TotalNs:    total,
+			PerCycleNs: float64(total) / float64(rep.Cycles),
+			Charges:    rep.Ledger.Count(c),
+		}
+	}
+	s := rep.Stats
+	v.Stats = StatsView{
+		Committed:          s.Committed,
+		ConservativeCycles: s.ConservativeCycles,
+		Transitions:        s.Transitions,
+		TransitionsSimLed:  s.TransitionsByLead[core.SimDomain],
+		TransitionsAccLed:  s.TransitionsByLead[core.AccDomain],
+		RunAheadCycles:     s.RunAheadCycles,
+		FollowUpCycles:     s.FollowUpCycles,
+		RollForthCycles:    s.RollForthCycles,
+		Rollbacks:          s.Rollbacks,
+		Stores:             s.Stores,
+		Restores:           s.Restores,
+		ChecksTotal:        s.ChecksTotal,
+		Mispredicts:        s.Mispredicts,
+		Injected:           s.Injected,
+	}
+	if len(s.Declines) > 0 {
+		v.Stats.Declines = make(map[string]int64, len(s.Declines))
+		for r, n := range s.Declines {
+			v.Stats.Declines[string(r)] = n
+		}
+	}
+	v.TransitionLengths = histView(rep.TransitionLengths)
+	v.RollForthLengths = histView(rep.RollForthLengths)
+	return v
+}
+
+func histView(h *stats.Hist) *HistView {
+	if h == nil || h.N() == 0 {
+		return nil
+	}
+	return &HistView{
+		N:    h.N(),
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.5),
+		P95:  h.Quantile(0.95),
+		Max:  h.Quantile(1),
+	}
+}

@@ -1,0 +1,492 @@
+// Package service turns the co-emulation engine into a job service: a
+// bounded worker pool executes declarative run specs (internal/spec),
+// an LRU cache keyed by the canonical spec hash serves duplicate
+// submissions bit-identical reports without re-running, and every job
+// carries a context so client aborts and shutdown cancel in-flight
+// engine runs at domain-cycle granularity (core.Engine.RunContext).
+//
+// Concurrency model: engine runs are single-threaded and independent,
+// so the pool runs up to Workers of them in parallel (the cmd/sweep -j
+// pattern); all job bookkeeping is guarded by one service mutex.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"coemu/internal/core"
+	"coemu/internal/spec"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Service errors.
+var (
+	// ErrQueueFull is returned by Submit when the pending-job queue is
+	// at capacity (backpressure; retry later).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("service: shut down")
+	// ErrUnknownJob is returned for job IDs the service does not know.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the worker-pool width. Default: runtime.NumCPU().
+	Workers int
+	// CacheSize is the LRU result-cache capacity in reports. Default
+	// 128; negative disables caching.
+	CacheSize int
+	// QueueDepth bounds the pending-job queue. Default 256.
+	QueueDepth int
+	// RetainJobs bounds how many completed jobs stay queryable by ID
+	// before the oldest are forgotten. Default 1024.
+	RetainJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 128
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 1024
+	}
+	return o
+}
+
+// Job is one submitted run. All state is guarded by the owning
+// service's mutex; read it through Info, Wait and Result.
+type Job struct {
+	svc  *Service
+	id   string
+	seq  int64
+	hash string
+	spec *spec.Spec
+
+	status   Status
+	report   *core.Report
+	err      error
+	cached   bool // completed straight from the result cache
+	finished bool
+	done     chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// waiters counts live Wait calls; ephemeral jobs (synchronous HTTP
+	// runs) cancel when the last waiter abandons them. A non-ephemeral
+	// (fire-and-forget) submission pins the job regardless of waiters.
+	// pendingRefs bridges the gap between an ephemeral Submit and that
+	// submitter's Wait: the Submit takes a reference under the service
+	// lock, and the first Wait per pending reference inherits it, so a
+	// concurrent abort by an earlier waiter cannot cancel a job another
+	// client was just handed. An ephemeral Submit must therefore be
+	// followed by Wait.
+	waiters     int
+	pendingRefs int
+	ephemeral   bool
+
+	submitted time.Time
+	started   time.Time
+	ended     time.Time
+}
+
+// Info is a point-in-time snapshot of a job, shaped for JSON.
+type Info struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name,omitempty"`
+	Hash      string     `json:"hash"`
+	Status    Status     `json:"status"`
+	Cached    bool       `json:"cached"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Ended     *time.Time `json:"ended,omitempty"`
+}
+
+// Service is the co-emulation job service.
+type Service struct {
+	opts  Options
+	ctx   context.Context
+	stop  context.CancelFunc
+	wg    sync.WaitGroup
+	queue chan *Job
+	cache *resultCache
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*Job
+	inflight map[string]*Job // canonical hash -> queued/running job
+	retain   []string        // job IDs in submission order, for pruning
+}
+
+// New starts a service with the given options.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Service{
+		opts:     opts,
+		ctx:      ctx,
+		stop:     stop,
+		queue:    make(chan *Job, opts.QueueDepth),
+		cache:    newResultCache(opts.CacheSize),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Close shuts the service down: no new submissions, every queued and
+// running job is canceled, and Close returns once the workers exit.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Cancel in-flight engine runs, then let the workers drain the
+	// queue (each queued job is already canceled, so draining is fast).
+	s.stop()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Submit enqueues a run for the given spec, deduplicating against the
+// result cache (completed identical runs) and in-flight jobs (running
+// identical runs). ephemeral marks a submission that should not outlive
+// its waiters — a synchronous HTTP request whose client may abort.
+//
+// The returned job may already be complete (cache hit); callers should
+// Wait regardless.
+func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
+	hash, err := sp.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+
+	if rep, ok := s.cache.Get(hash); ok {
+		job := s.newJobLocked(sp, hash)
+		job.status = StatusDone
+		job.report = rep
+		job.cached = true
+		job.finished = true
+		job.started = job.submitted
+		job.ended = job.submitted
+		job.cancel() // release the context immediately; nothing runs
+		close(job.done)
+		return job, nil
+	}
+
+	if job, ok := s.inflight[hash]; ok {
+		if ephemeral {
+			// Hold a reference for this submitter until its Wait runs,
+			// so an abort by the original waiter in the interim cannot
+			// cancel a job we just handed out.
+			job.pendingRefs++
+		} else {
+			// A fire-and-forget submission pins the job even if the
+			// original (ephemeral) submitter aborts.
+			job.ephemeral = false
+		}
+		return job, nil
+	}
+
+	job := s.newJobLocked(sp, hash)
+	job.ephemeral = ephemeral
+	if ephemeral {
+		job.pendingRefs++
+	}
+	select {
+	case s.queue <- job:
+	default:
+		job.cancel()
+		delete(s.jobs, job.id)
+		s.retain = s.retain[:len(s.retain)-1] // newJobLocked appended it last
+		return nil, ErrQueueFull
+	}
+	s.inflight[hash] = job
+	return job, nil
+}
+
+// newJobLocked allocates and registers a job. Caller holds s.mu.
+func (s *Service) newJobLocked(sp *spec.Spec, hash string) *Job {
+	s.seq++
+	job := &Job{
+		svc:       s,
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		seq:       s.seq,
+		hash:      hash,
+		spec:      sp,
+		status:    StatusQueued,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	job.ctx, job.cancel = context.WithCancel(s.ctx)
+	s.jobs[job.id] = job
+	s.retain = append(s.retain, job.id)
+	// Forget the oldest completed jobs past the retention bound. An
+	// unfinished job at the front stops pruning — active jobs are never
+	// dropped.
+	for len(s.jobs) > s.opts.RetainJobs && len(s.retain) > 0 {
+		old, ok := s.jobs[s.retain[0]]
+		if ok && !old.finished {
+			break
+		}
+		if ok {
+			delete(s.jobs, old.id)
+		}
+		s.retain = s.retain[1:]
+	}
+	return job
+}
+
+// Job looks a job up by ID.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return job, nil
+}
+
+// Jobs snapshots every known job, newest first.
+func (s *Service) Jobs() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type seqInfo struct {
+		seq  int64
+		info Info
+	}
+	all := make([]seqInfo, 0, len(s.jobs))
+	for _, job := range s.jobs {
+		all = append(all, seqInfo{job.seq, job.infoLocked()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	out := make([]Info, len(all))
+	for i, si := range all {
+		out[i] = si.info
+	}
+	return out
+}
+
+// JobCount returns how many jobs are currently known (retained).
+func (s *Service) JobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Cancel cancels a job by ID. Completed jobs are unaffected.
+func (s *Service) Cancel(id string) error {
+	job, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if job.status == StatusQueued {
+		// The worker will observe the canceled context when it dequeues
+		// the job, but flip the visible state now.
+		s.finishLocked(job, StatusCanceled, nil, context.Canceled)
+	}
+	s.mu.Unlock()
+	job.cancel()
+	return nil
+}
+
+// CacheStats reports result-cache hits, misses and current size.
+func (s *Service) CacheStats() (hits, misses int64, size int) {
+	return s.cache.Stats()
+}
+
+// runJob executes one job on a worker.
+func (s *Service) runJob(job *Job) {
+	s.mu.Lock()
+	if job.status != StatusQueued {
+		s.mu.Unlock()
+		return
+	}
+	if job.ctx.Err() != nil {
+		s.finishLocked(job, StatusCanceled, nil, job.ctx.Err())
+		s.mu.Unlock()
+		return
+	}
+	job.status = StatusRunning
+	job.started = time.Now()
+	s.mu.Unlock()
+
+	rep, err := runSpec(job.ctx, job.spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.cache.Put(job.hash, rep)
+		s.finishLocked(job, StatusDone, rep, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(job, StatusCanceled, nil, err)
+	default:
+		s.finishLocked(job, StatusFailed, nil, err)
+	}
+}
+
+// finishLocked publishes a job's terminal state exactly once. Caller
+// holds s.mu.
+func (s *Service) finishLocked(job *Job, st Status, rep *core.Report, err error) {
+	if job.finished {
+		return
+	}
+	job.finished = true
+	job.status = st
+	job.report = rep
+	job.err = err
+	job.ended = time.Now()
+	if s.inflight[job.hash] == job {
+		delete(s.inflight, job.hash)
+	}
+	// Release the job's context registration in s.ctx; leaving it would
+	// leak one context child per job for the service's lifetime.
+	job.cancel()
+	close(job.done)
+}
+
+// runSpec compiles and executes a spec under ctx.
+func runSpec(ctx context.Context, sp *spec.Spec) (*core.Report, error) {
+	d, cfg, err := sp.Compile()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.NewEngine(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx, sp.Run.Cycles)
+}
+
+// ID returns the job's service-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the canonical spec hash the job runs under.
+func (j *Job) Hash() string { return j.hash }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Info snapshots the job state.
+func (j *Job) Info() Info {
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	return j.infoLocked()
+}
+
+func (j *Job) infoLocked() Info {
+	info := Info{
+		ID:        j.id,
+		Name:      j.spec.Name,
+		Hash:      j.hash,
+		Status:    j.status,
+		Cached:    j.cached,
+		Submitted: j.submitted,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		info.Started = &t
+	}
+	if !j.ended.IsZero() {
+		t := j.ended
+		info.Ended = &t
+	}
+	return info
+}
+
+// Result returns the job's terminal outcome; call only after Done is
+// closed (Wait does this for you).
+func (j *Job) Result() (*core.Report, error) {
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	if !j.finished {
+		return nil, fmt.Errorf("service: job %s still %s", j.id, j.status)
+	}
+	return j.report, j.err
+}
+
+// Wait blocks until the job completes or ctx is done. If the waiting
+// client abandons an ephemeral job and no other waiter remains, the job
+// is canceled — the engine run stops within one domain cycle.
+func (j *Job) Wait(ctx context.Context) (*core.Report, error) {
+	j.svc.mu.Lock()
+	j.waiters++
+	if j.pendingRefs > 0 {
+		// Inherit the reference the ephemeral Submit took for us.
+		j.pendingRefs--
+	}
+	j.svc.mu.Unlock()
+	defer j.release()
+
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release drops one waiter reference, canceling an abandoned ephemeral
+// job.
+func (j *Job) release() {
+	j.svc.mu.Lock()
+	j.waiters--
+	abandon := j.ephemeral && j.waiters == 0 && j.pendingRefs == 0 && !j.finished
+	j.svc.mu.Unlock()
+	if abandon {
+		j.cancel()
+	}
+}

@@ -61,6 +61,28 @@ var burstNames = map[string]amba.Burst{
 	"INCR16": amba.BurstIncr16,
 }
 
+// ParseBurst resolves a burst mnemonic (SINGLE, INCR, WRAP4/8/16,
+// INCR4/8/16; case-insensitive) to its HBURST encoding.
+func ParseBurst(name string) (amba.Burst, bool) {
+	b, ok := burstNames[strings.ToUpper(strings.TrimSpace(name))]
+	return b, ok
+}
+
+// ParseSizeBits resolves a transfer width in bits (8, 16 or 32) to its
+// HSIZE encoding.
+func ParseSizeBits(bits int) (amba.Size, bool) {
+	switch bits {
+	case 8:
+		return amba.Size8, true
+	case 16:
+		return amba.Size16, true
+	case 32:
+		return amba.Size32, true
+	default:
+		return 0, false
+	}
+}
+
 // sizeBits maps width in bits to encoding.
 var sizeBits = map[string]amba.Size{
 	"8": amba.Size8, "16": amba.Size16, "32": amba.Size32,

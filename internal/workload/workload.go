@@ -30,6 +30,105 @@ func pattern(n uint64) amba.Word {
 	return amba.Word(x>>32) ^ amba.Word(x)
 }
 
+// dataPool recycles the per-burst Data slices a write generator hands
+// to its master, removing the last generator-owned allocation from the
+// engine's steady-state loop while staying rollback-safe.
+//
+// Safety argument. A slice issued for transfer q is referenced by (at
+// most) the master's current activeXfer — the master drops transfer q
+// the moment it fetches q+1 — and by the domain's single live rollback
+// snapshot, which holds a value copy of the master state as of the last
+// Save (referencing transfer snapSeq-1 at the oldest). So any slice
+// whose transfer index is holdDepth fetches below BOTH the current
+// issue counter and the last save point is unreachable and free to
+// recycle. A Restore rewinds the issue counter to the save point;
+// slices issued after it became unreachable with the rolled-back
+// master state (the registry restores the whole domain atomically
+// between cycles) and return to the free list — the roll-forth replay
+// regenerates their transfers, with bit-identical contents since the
+// data is a pure function of the snapshotted beat counter.
+type dataPool struct {
+	free [][]amba.Word
+	out  []pooledBuf // outstanding slices, oldest first
+	// snapSeq is the generator's issue counter at the last Save;
+	// hasSnap marks that a restorable snapshot exists. The zero value
+	// is a ready-to-use pool with no snapshot.
+	snapSeq int64
+	hasSnap bool
+}
+
+// pooledBuf is one outstanding slice tagged with its transfer index.
+type pooledBuf struct {
+	seq int64
+	buf []amba.Word
+}
+
+// holdDepth is how many fetches below the low-water mark a slice must
+// be before recycling. 1 suffices (only the most recent fetch is live);
+// 2 leaves a margin.
+const holdDepth = 2
+
+// get returns a slice of n words for the transfer with issue index seq,
+// recycling retired buffers. The contents are unspecified; the caller
+// overwrites every word.
+func (p *dataPool) get(seq int64, n int) []amba.Word {
+	p.reclaim(seq)
+	var buf []amba.Word
+	if k := len(p.free); k > 0 {
+		buf = p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+	}
+	if cap(buf) < n {
+		buf = make([]amba.Word, n)
+	}
+	buf = buf[:n]
+	p.out = append(p.out, pooledBuf{seq: seq, buf: buf})
+	return buf
+}
+
+// reclaim moves every provably-unreachable outstanding slice to the
+// free list. cur is the generator's current issue counter.
+func (p *dataPool) reclaim(cur int64) {
+	low := cur
+	if p.hasSnap && p.snapSeq < low {
+		low = p.snapSeq
+	}
+	n := 0
+	for n < len(p.out) && p.out[n].seq < low-holdDepth {
+		p.free = append(p.free, p.out[n].buf)
+		p.out[n].buf = nil
+		n++
+	}
+	if n > 0 {
+		rest := copy(p.out, p.out[n:])
+		for i := rest; i < len(p.out); i++ {
+			p.out[i] = pooledBuf{}
+		}
+		p.out = p.out[:rest]
+	}
+}
+
+// saved records a snapshot at issue counter cur: slices at or above
+// cur-holdDepth stay pinned until the next save supersedes it.
+func (p *dataPool) saved(cur int64) { p.snapSeq, p.hasSnap = cur, true }
+
+// restored rewinds to issue counter cur (the last save point): slices
+// issued at or after cur belong to rolled-back transfers and recycle
+// immediately.
+func (p *dataPool) restored(cur int64) {
+	p.snapSeq = cur
+	for len(p.out) > 0 {
+		last := len(p.out) - 1
+		if p.out[last].seq < cur {
+			break
+		}
+		p.free = append(p.free, p.out[last].buf)
+		p.out[last] = pooledBuf{}
+		p.out = p.out[:last]
+	}
+}
+
 // Sequence replays a fixed list of transfers, for tests and examples.
 type Sequence struct {
 	xfers []ip.Xfer
@@ -78,7 +177,8 @@ type Stream struct {
 	gap   int
 	max   int64 // 0 = unbounded
 
-	st streamState
+	st   streamState
+	pool dataPool
 }
 
 type streamState struct {
@@ -116,7 +216,7 @@ func (s *Stream) Next() (ip.Xfer, bool) {
 	}
 	beats := x.Beats()
 	if s.write {
-		x.Data = make([]amba.Word, beats)
+		x.Data = s.pool.get(s.st.Issued, beats)
 		for i := range x.Data {
 			x.Data[i] = pattern(s.st.Beat + uint64(i))
 		}
@@ -142,6 +242,7 @@ func (s *Stream) SaveInto(prev any) any {
 		st = new(streamState)
 	}
 	*st = s.st
+	s.pool.saved(s.st.Issued)
 	return st
 }
 
@@ -152,6 +253,7 @@ func (s *Stream) Restore(v any) {
 		panic(fmt.Sprintf("workload: stream: bad snapshot %T", v))
 	}
 	s.st = *st
+	s.pool.restored(s.st.Issued)
 }
 
 // DMACopy alternates read bursts from a source window with write bursts
@@ -163,7 +265,8 @@ type DMACopy struct {
 	gap      int
 	max      int64
 
-	st dmaState
+	st   dmaState
+	pool dataPool
 }
 
 type dmaState struct {
@@ -196,7 +299,7 @@ func (d *DMACopy) Next() (ip.Xfer, bool) {
 	var x ip.Xfer
 	if d.st.WriteNx {
 		x = ip.Xfer{Addr: d.st.DstCur, Write: true, Size: amba.Size32, Burst: d.burst, Gap: d.gap}
-		x.Data = make([]amba.Word, beats)
+		x.Data = d.pool.get(d.st.Issued, beats)
 		for i := range x.Data {
 			x.Data[i] = pattern(d.st.Beat + uint64(i))
 		}
@@ -228,6 +331,7 @@ func (d *DMACopy) SaveInto(prev any) any {
 		st = new(dmaState)
 	}
 	*st = d.st
+	d.pool.saved(d.st.Issued)
 	return st
 }
 
@@ -238,6 +342,7 @@ func (d *DMACopy) Restore(v any) {
 		panic(fmt.Sprintf("workload: dma: bad snapshot %T", v))
 	}
 	d.st = *st
+	d.pool.restored(d.st.Issued)
 }
 
 // CPU emits randomized single transfers and short bursts across a set of
@@ -252,6 +357,7 @@ type CPU struct {
 
 	issued int64
 	beat   uint64
+	pool   dataPool
 }
 
 var _ ip.Generator = (*CPU)(nil)
@@ -300,7 +406,7 @@ func (c *CPU) Next() (ip.Xfer, bool) {
 		x.Gap = c.r.Intn(c.maxGap + 1)
 	}
 	if x.Write {
-		x.Data = make([]amba.Word, beats)
+		x.Data = c.pool.get(c.issued, beats)
 		for i := range x.Data {
 			x.Data[i] = pattern(c.beat + uint64(i))
 		}
@@ -318,7 +424,10 @@ type cpuSnap struct {
 }
 
 // Save implements rollback.Snapshotter.
-func (c *CPU) Save() any { return cpuSnap{Rng: c.r.Save(), Issued: c.issued, Beat: c.beat} }
+func (c *CPU) Save() any {
+	c.pool.saved(c.issued)
+	return cpuSnap{Rng: c.r.Save(), Issued: c.issued, Beat: c.beat}
+}
 
 // Restore implements rollback.Snapshotter.
 func (c *CPU) Restore(v any) {
@@ -329,4 +438,5 @@ func (c *CPU) Restore(v any) {
 	c.r.Restore(s.Rng)
 	c.issued = s.Issued
 	c.beat = s.Beat
+	c.pool.restored(c.issued)
 }
