@@ -323,6 +323,64 @@ func BenchmarkAblation(b *testing.B) {
 	})
 }
 
+// gappedStreamDesign is the idle-heavy ALS split: INCR8 write bursts
+// separated by long generator gaps, so most target cycles are
+// provably quiescent — the workload the predicted-quiescence cycle
+// batching exists for.
+func gappedStreamDesign(gap int) coemu.Design {
+	return coemu.Design{
+		Masters: []coemu.MasterSpec{{
+			Name:   "dma",
+			Domain: coemu.AccDomain,
+			NewGen: func() coemu.Generator {
+				return coemu.NewStream(coemu.Window{Lo: 0, Hi: 0x40000}, true,
+					coemu.BurstIncr8, coemu.Size32, 0, gap, 0)
+			},
+		}},
+		Slaves: []coemu.SlaveSpec{{
+			Name:   "mem",
+			Domain: coemu.SimDomain,
+			Region: coemu.Region{Lo: 0, Hi: 0x80000},
+			New:    func() coemu.Slave { return coemu.NewSRAM("mem") },
+		}},
+	}
+}
+
+// BenchmarkCycleBatching is the batched-vs-unbatched A/B of PR 3,
+// serial on purpose (its metric is single-thread host speed). The
+// idle-stream pairs isolate the predicted-quiescence fast path
+// (CycleBatch=1 disables it; modeled metrics are bit-identical either
+// way); the busy-stream pair isolates the channel loopback against the
+// forced wire codec on a workload where batching never fires.
+func BenchmarkCycleBatching(b *testing.B) {
+	cases := []struct {
+		name string
+		d    coemu.Design
+		cfg  coemu.Config
+	}{
+		{"idle-stream/als/batch=1", gappedStreamDesign(48), coemu.Config{Mode: coemu.ALS, CycleBatch: 1}},
+		{"idle-stream/als/batch=64", gappedStreamDesign(48), coemu.Config{Mode: coemu.ALS}},
+		{"idle-stream/conservative/batch=1", gappedStreamDesign(48), coemu.Config{Mode: coemu.Conservative, CycleBatch: 1}},
+		{"idle-stream/conservative/batch=64", gappedStreamDesign(48), coemu.Config{Mode: coemu.Conservative}},
+		{"busy-stream/als/wire-codec", streamDesign(), coemu.Config{Mode: coemu.ALS, WirePackets: true}},
+		{"busy-stream/als/loopback", streamDesign(), coemu.Config{Mode: coemu.ALS}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var batched int64
+			for i := 0; i < b.N; i++ {
+				rep, err := coemu.Run(c.d, c.cfg, benchCycles)
+				if err != nil {
+					b.Fatal(err)
+				}
+				batched = rep.Stats.BatchedCycles
+			}
+			b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
+			b.ReportMetric(float64(batched), "batched-cyc")
+		})
+	}
+}
+
 // BenchmarkHostThroughput measures the library's real (host) speed:
 // target cycles simulated per host second, for the reference bus, the
 // conservative engine and the optimistic engine.

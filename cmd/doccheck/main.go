@@ -1,0 +1,181 @@
+// Command doccheck is the repository's missing-godoc linter: it walks
+// Go source trees and reports every exported package-level identifier
+// that lacks a doc comment, plus every package that lacks a package
+// comment. CI runs it over the whole module so documentation debt
+// fails the build instead of accumulating silently.
+//
+// Usage:
+//
+//	doccheck [dir ...]   (default ".")
+//
+// Rules, deliberately simpler than golint's but strict:
+//
+//   - every exported func, method (on an exported type), type, const
+//     and var needs a doc comment on itself or its enclosing group;
+//   - every package needs a package comment on at least one file;
+//   - _test.go files and testdata/vendor directories are skipped.
+//
+// Exit status is 1 when findings exist, 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var findings []string
+	for _, root := range dirs {
+		f, err := checkTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, f...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers without doc comments\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// checkTree lints every Go package directory under root.
+func checkTree(root string) ([]string, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			byDir[dir] = append(byDir[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for dir, files := range byDir {
+		f, err := checkPackage(dir, files)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, f...)
+	}
+	return findings, nil
+}
+
+// checkPackage lints one package directory.
+func checkPackage(dir string, files []string) ([]string, error) {
+	fset := token.NewFileSet()
+	var findings []string
+	hasPkgDoc := false
+	pkgName := ""
+	sort.Strings(files)
+	for _, path := range files {
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkgName = file.Name.Name
+		if file.Doc != nil {
+			hasPkgDoc = true
+		}
+		findings = append(findings, checkFile(fset, file)...)
+	}
+	if !hasPkgDoc && pkgName != "" {
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", dir, pkgName))
+	}
+	return findings, nil
+}
+
+// checkFile lints the top-level declarations of one file.
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil && len(d.Specs) > 0 && d.Lparen == token.NoPos {
+				// Single-spec declaration documented on the decl.
+				continue
+			}
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && !groupDoc {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil || groupDoc {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "const/var", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type (methods on unexported types are internal API).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -512,6 +512,25 @@ func (b *Bus) Commit(remote amba.PartialState) StepResult {
 	return res
 }
 
+// Quiescent reports whether the fabric is at an idle fixed point: no
+// transfer in the data phase, no master split-masked, no default-slave
+// ERROR in flight, and no Evaluate outstanding. At such a point a
+// cycle committed with an inactive contribution from every master
+// leaves all registered bus state except the cycle counter unchanged,
+// which is the property the engine's predicted-quiescence batching
+// relies on.
+func (b *Bus) Quiescent() bool {
+	return !b.eval.valid && !b.st.DP.Valid && b.st.SplitMask == 0 && !b.st.DefErr
+}
+
+// SkipQuiescent commits n quiescent cycles in one step. The caller
+// must have proven the fixed point (Quiescent bus, inactive masters)
+// for the whole span; only the cycle counter advances, exactly as n
+// idle Evaluate/Commit rounds would leave it.
+func (b *Bus) SkipQuiescent(n int64) {
+	b.st.Cycle += n
+}
+
 // Step evaluates and commits one cycle of a fully-local bus.
 func (b *Bus) Step() StepResult {
 	b.Evaluate()

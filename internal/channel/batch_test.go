@@ -1,0 +1,47 @@
+package channel
+
+import (
+	"testing"
+
+	"coemu/internal/amba"
+	"coemu/internal/device"
+	"coemu/internal/vclock"
+)
+
+// TestAccountNMatchesSends pins the loopback contract: AccountN leaves
+// the ledger and every channel statistic bit-identical to n real Sends
+// of the same payload size.
+func TestAccountNMatchesSends(t *testing.T) {
+	var sentLedger, accLedger vclock.Ledger
+	sent := New(device.IPROVE(), &sentLedger)
+	acc := New(device.IPROVE(), &accLedger)
+
+	payload := make([]amba.Word, 5)
+	const n = 9
+	for i := 0; i < n; i++ {
+		sent.Send(SimToAcc, payload)
+		sent.Release(sent.Recv(SimToAcc)) // drain so only accounting differs
+	}
+	acc.AccountN(SimToAcc, len(payload), n)
+
+	if sentLedger != accLedger {
+		t.Fatalf("ledger diverged: send %v, account %v", sentLedger.String(), accLedger.String())
+	}
+	if sent.Stats() != acc.Stats() {
+		t.Fatalf("stats diverged:\nsend:    %+v\naccount: %+v", sent.Stats(), acc.Stats())
+	}
+}
+
+// TestAccountZeroLengthPaysStartup mirrors Send's doorbell semantics.
+func TestAccountZeroLengthPaysStartup(t *testing.T) {
+	var l vclock.Ledger
+	c := New(device.IPROVE(), &l)
+	c.Account(AccToSim, 0)
+	if l.Get(vclock.Channel) < c.Stack().Startup() {
+		t.Fatalf("zero-length access charged %v, want at least startup %v",
+			l.Get(vclock.Channel), c.Stack().Startup())
+	}
+	if c.Stats().Accesses[AccToSim] != 1 {
+		t.Fatal("access not counted")
+	}
+}

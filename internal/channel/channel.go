@@ -111,11 +111,9 @@ func (c *Channel) Stats() Stats { return c.stats }
 // (startup + per-word payload) to the ledger. Zero-length packets still
 // pay the startup overhead, exactly like a real doorbell access.
 func (c *Channel) Send(d Dir, payload []amba.Word) {
-	cost := c.stack.AccessCost(d, len(payload))
-	c.ledger.Charge(vclock.Channel, cost)
-	c.stats.Accesses[d]++
-	c.stats.Words[d] += int64(len(payload))
-	c.stats.SizeHist[d][bucket(len(payload))]++
+	// Accounting is shared with the loopback path so the two can never
+	// drift: Send is Account plus the physical packet.
+	c.Account(d, len(payload))
 	// Copy into a pooled buffer: the sender may reuse its slice.
 	var pkt []amba.Word
 	if n := len(c.free); n > 0 {
@@ -129,6 +127,29 @@ func (c *Channel) Send(d Dir, payload []amba.Word) {
 	}
 	q := &c.queues[d]
 	q.pkts = append(q.pkts, pkt)
+}
+
+// Account charges one access of the given payload size — ledger cost,
+// access count, word count and size histogram all exactly as Send of a
+// words-length payload — without materializing or enqueuing a packet.
+// It is the loopback fast path for the in-process engine, which is
+// both endpoints of the channel and already holds the decoded values:
+// the modeled economics of the access are preserved bit-for-bit while
+// the host skips the serialize/copy/deserialize round trip.
+func (c *Channel) Account(d Dir, words int) {
+	c.AccountN(d, words, 1)
+}
+
+// AccountN charges n identical accesses of the given payload size in
+// one call — the batch counterpart of Account used by the engine's
+// predicted-quiescence cycle batching. Accounting is bit-identical to
+// n sequential Send calls with words-length payloads.
+func (c *Channel) AccountN(d Dir, words int, n int64) {
+	cost := c.stack.AccessCost(d, words)
+	c.ledger.ChargeN(vclock.Channel, cost, n)
+	c.stats.Accesses[d] += n
+	c.stats.Words[d] += n * int64(words)
+	c.stats.SizeHist[d][bucket(words)] += n
 }
 
 // Recv dequeues the oldest packet in direction d. Receiving from an

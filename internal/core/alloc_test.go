@@ -138,6 +138,56 @@ func TestALSTransitionAllocFreeWorkloadStream(t *testing.T) {
 	}
 }
 
+// TestBatchedPathsAllocFree pins the zero-alloc property on the
+// predicted-quiescence fast path: an idle-heavy gapped stream drives
+// the run-ahead batch, the follow-up batch and (in conservative mode)
+// the conservative stretch batch, and none of them may allocate in
+// steady state.
+func TestBatchedPathsAllocFree(t *testing.T) {
+	for _, mode := range []Mode{ALS, Conservative} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := allocDesign()
+			d.Masters[0].NewGen = func() ip.Generator {
+				return workload.NewStream(workload.Window{Lo: 0, Hi: 0x4000}, true,
+					amba.BurstIncr8, amba.Size32, 0, 48, 0)
+			}
+			e, err := NewEngine(d, Config{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			e.done = ctx.Done()
+			step := func() {
+				leader, decl := e.pickLeader()
+				e.recordDeclines(decl, 1)
+				if leader == nil {
+					if err := e.conservativeCycle(); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.batchConservative(1<<30, decl); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				if _, err := e.transition(leader, 1<<30); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 500; i++ {
+				step()
+			}
+			if e.stats.BatchedCycles == 0 {
+				t.Fatal("batched fast path never fired; the guard would prove nothing")
+			}
+			allocs := testing.AllocsPerRun(20, step)
+			if allocs != 0 {
+				t.Fatalf("batched %v step allocated %.1f objects, want 0", mode, allocs)
+			}
+		})
+	}
+}
+
 func TestALSTransitionAllocFree(t *testing.T) {
 	e, err := NewEngine(allocDesign(), Config{Mode: ALS})
 	if err != nil {

@@ -121,6 +121,12 @@ func (d Design) Validate() error {
 			return fmt.Errorf("core: duplicate component name %q", s.Name)
 		}
 		names[s.Name] = true
+		if s.IRQMask >= 1<<amba.MaxIRQLines {
+			// The packet header carries MaxIRQLines interrupt bits;
+			// higher lines would be silently dropped on the wire and
+			// diverge the domains on the first conservative exchange.
+			return fmt.Errorf("core: slave %q IRQ mask %#x uses lines above the %d the wire encoding carries", s.Name, s.IRQMask, amba.MaxIRQLines)
+		}
 		if s.IRQMask&irqSeen != 0 {
 			return fmt.Errorf("core: slave %q reuses IRQ lines %x", s.Name, s.IRQMask&irqSeen)
 		}

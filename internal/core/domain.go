@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"coemu/internal/amba"
@@ -201,3 +202,73 @@ func (d *Domain) Rollback(ledger *vclock.Ledger, vars int, s rollback.Snapshot) 
 
 // LocalIRQMask returns the interrupt lines owned by this domain.
 func (d *Domain) LocalIRQMask() uint32 { return d.bus.LocalIRQMask() }
+
+// QuiescentCycles reports for how many upcoming cycles the domain is
+// guaranteed, from ground truth, to evaluate an inactive contribution
+// and evolve by pure counter advances only: the half-bus is at an idle
+// fixed point, every local master is provably idle (gap countdown or
+// exhausted generator), and every clocked component can prove its own
+// inactivity through sim.Quiescible. Components that cannot prove it
+// (a Clocked slave without Quiescible) pin the bound to 0, so the
+// engine single-steps rather than guesses. Slaves that act only when
+// addressed (memories, jitter/retry/error models) need no say: with no
+// data phase in flight the bus never calls them.
+//
+// The bound is what the predicted-quiescence fast path trades on: for
+// n <= QuiescentCycles cycles with an inactive remote contribution,
+// Evaluate/Commit rounds are exact repetitions and AdvanceQuiescent(n)
+// commits them in one step.
+func (d *Domain) QuiescentCycles() int64 {
+	if d.evaluated || !d.bus.Quiescent() {
+		return 0
+	}
+	n := int64(math.MaxInt64)
+	for _, m := range d.masters {
+		if q := m.QuiescentCycles(); q < n {
+			n = q
+			if n == 0 {
+				return 0
+			}
+		}
+	}
+	for _, t := range d.tickers {
+		qt, ok := t.(sim.Quiescible)
+		if !ok {
+			return 0
+		}
+		if q := qt.QuiescentFor(); q < n {
+			n = q
+			if n == 0 {
+				return 0
+			}
+		}
+	}
+	return n
+}
+
+// PredictionStableCycles reports for how many upcoming cycles the
+// domain's remote predictor keeps its current Predict outcome, given
+// only idle observations (see remotePredictor.PredictStableFor).
+func (d *Domain) PredictionStableCycles() int64 {
+	return d.pred.PredictStableFor()
+}
+
+// AdvanceQuiescent commits n quiescent cycles in one step: n cycles of
+// domain time charged to the ledger, the clock, every master's gap
+// countdown, every clocked component and the predictor's idle
+// bookkeeping advanced by n — bit-identical to n Evaluate/Commit
+// rounds against the inactive remote contribution the caller proved.
+// Callers must keep n within QuiescentCycles() (and, when the domain's
+// own predictions are being consumed, PredictionStableCycles()).
+func (d *Domain) AdvanceQuiescent(ledger *vclock.Ledger, n int64) {
+	ledger.ChargeN(d.timeCat, d.cycleCost, n)
+	for _, m := range d.masters {
+		m.SkipIdle(n)
+	}
+	for _, t := range d.tickers {
+		t.(sim.Quiescible).SkipQuiescent(n)
+	}
+	d.clock.AdvanceN(n)
+	d.bus.SkipQuiescent(n)
+	d.pred.SkipIdle(n)
+}

@@ -16,6 +16,22 @@
 // Execution is deterministic and single-threaded; domain and channel
 // time are charged to a virtual wall clock whose total defines the
 // "simulation performance" metric of the paper's Table 2 and Figure 4.
+//
+// # Predicted-quiescence cycle batching
+//
+// On the host side the engine batches provably repetitive cycles: when
+// ground truth (idle masters, quiet peripherals, a half-bus at an idle
+// fixed point — Domain.QuiescentCycles) and the predictor
+// (remotePredictor.PredictStableFor) together guarantee that the next
+// K cycles repeat the one just committed, the engine commits them in
+// one step — a single batched ledger charge, clock advance and gap
+// countdown instead of K Evaluate/Commit rounds. The fast path exists
+// in all three per-cycle loops (conservative stretches, the leader's
+// run-ahead, the lagger's follow-up), never crosses a transition
+// boundary (so snapshot cadence and rollback granularity are
+// unchanged), and replicates every modeled metric bit for bit;
+// Config.CycleBatch caps the batch and 1 disables it. See
+// ARCHITECTURE.md for the full walk-through.
 package core
 
 import (
@@ -113,6 +129,23 @@ type Config struct {
 	// the store (footnote 6). Off by default: snapshotting directly at
 	// the sync point is behaviorally identical and one cycle cheaper.
 	PaperStrictTransitions bool
+	// CycleBatch caps the predicted-quiescence fast path: when ground
+	// truth (idle masters, quiet peripherals, an idle bus fixed point)
+	// and the predictor together prove that the next cycles are exact
+	// repetitions of the one just committed, the engine commits up to
+	// CycleBatch of them per step in one batched advance instead of
+	// cycle-by-cycle calls. Modeled metrics are bit-identical for every
+	// setting — the knob trades host speed against cancellation
+	// granularity (a cancel lands within one batch instead of one
+	// cycle). 0 selects DefaultCycleBatch; 1 disables batching.
+	CycleBatch int
+	// WirePackets forces every channel packet through the amba wire
+	// codec (pack on send, unpack on receive) even though both
+	// endpoints live in this process. By default the engine uses the
+	// channel's loopback accounting — identical modeled cost and
+	// statistics, no host-side serialization round trip. The two paths
+	// produce bit-identical reports; differential tests pin it.
+	WirePackets bool
 	// Adaptive enables the dynamic mode governor (the paper's §3 item 4
 	// "dynamic decisions among SLA, ALS and conservative operating
 	// modes"): when the recent misprediction rate exceeds
@@ -123,6 +156,12 @@ type Config struct {
 	// governor forces conservative operation. Default 0.35.
 	AdaptiveThreshold float64
 }
+
+// DefaultCycleBatch is the predicted-quiescence batch cap used when
+// Config.CycleBatch is zero. One LOB worth of cycles is a natural
+// step: run-ahead batches are LOB-bounded anyway, and conservative
+// stretches re-probe quiescence (and cancellation) every 64 cycles.
+const DefaultCycleBatch = 64
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
@@ -153,6 +192,9 @@ func (c Config) withDefaults() Config {
 	if c.AdaptiveThreshold == 0 {
 		c.AdaptiveThreshold = 0.35
 	}
+	if c.CycleBatch == 0 {
+		c.CycleBatch = DefaultCycleBatch
+	}
 	return c
 }
 
@@ -181,6 +223,15 @@ type Stats struct {
 	Injected           int64
 	TransitionsByLead  [2]int64
 	Declines           map[DeclineReason]int64
+
+	// BatchedCycles counts domain-cycle advances taken through the
+	// predicted-quiescence fast path (batched steps rather than single
+	// Evaluate/Commit rounds). Leader run-ahead and lagger follow-up
+	// count separately, so a target cycle batched on both sides
+	// contributes twice and the total can exceed Committed. It is a
+	// host-side diagnostic: modeled metrics are bit-identical whatever
+	// its value, so the service report view deliberately excludes it.
+	BatchedCycles int64
 }
 
 // Report is the outcome of an engine run.
@@ -231,6 +282,13 @@ type Engine struct {
 	packBuf  []amba.Word
 	preds    []amba.PartialState
 	flushEnt []Entry
+
+	// consOut and consFull hold the most recent conservative cycle's
+	// per-domain contributions and merged state — the template a
+	// batched conservative stretch repeats (and the payload sizes its
+	// channel accounting replicates).
+	consOut  [2]amba.PartialState
+	consFull amba.CycleState
 
 	// done is the cancellation channel of the active RunContext call
 	// (nil outside one, and for plain Run — a nil channel is never
@@ -284,6 +342,9 @@ func NewEngine(d Design, cfg Config) (*Engine, error) {
 	if cfg.LOBDepth < minLOBDepth {
 		return nil, fmt.Errorf("core: LOB depth %d words < minimum %d (one framing word plus one worst-case entry)", cfg.LOBDepth, minLOBDepth)
 	}
+	if cfg.CycleBatch < 1 {
+		return nil, fmt.Errorf("core: cycle batch %d < 1 (0 selects the default, 1 disables batching)", cfg.CycleBatch)
+	}
 	e := &Engine{cfg: cfg, lob: NewLOB(cfg.LOBDepth)}
 	e.ch = channel.New(*cfg.Stack, &e.ledger)
 	simCyc := time.Duration(1e9 / cfg.SimSpeed)
@@ -322,42 +383,94 @@ func dirFrom(d DomainID) channel.Dir {
 
 // commitTrace records a committed cycle in the merged trace stream.
 func (e *Engine) commitTrace(cs amba.CycleState) error {
+	return e.commitTraceN(cs, 1)
+}
+
+// commitTraceN records n repetitions of a committed cycle — the
+// batched counterpart of commitTrace for quiescent stretches, whose
+// every cycle merges to the same state. The protocol checker still
+// sees one Check per cycle, and the kept trace grows by n identical
+// records, exactly as n single commits would leave them.
+func (e *Engine) commitTraceN(cs amba.CycleState, n int64) error {
 	if e.cfg.CheckProtocol {
-		if err := e.checker.Check(cs); err != nil {
-			return fmt.Errorf("core: committed trace: %w", err)
+		for i := int64(0); i < n; i++ {
+			if err := e.checker.Check(cs); err != nil {
+				return fmt.Errorf("core: committed trace: %w", err)
+			}
 		}
 	}
 	if e.cfg.KeepTrace {
-		e.trace = append(e.trace, cs)
+		for i := int64(0); i < n; i++ {
+			e.trace = append(e.trace, cs)
+		}
 	}
-	e.stats.Committed++
+	e.stats.Committed += n
 	return nil
+}
+
+// inactivePartial reports whether a per-cycle contribution is
+// inactive: no bus request, no write data, no slave reply, no split
+// release and at most an IDLE address phase. Committing an inactive
+// remote against a quiescent local domain leaves every registered bus
+// state except the cycle counter unchanged — the fixed point the
+// predicted-quiescence batching repeats. Interrupt lines may hold any
+// constant value: nothing in the fabric reacts to a held line. The
+// pointer receiver keeps the per-cycle probe copy-free.
+func inactivePartial(p *amba.PartialState) bool {
+	return p.Req == 0 && !p.HasWData && !p.HasReply && p.Split == 0 &&
+		(!p.HasAP || p.AP.Trans == amba.TransIdle)
+}
+
+// sendPartial ships one domain contribution across the channel. The
+// default loopback path accounts the access at the packed size without
+// materializing a packet (the engine is both endpoints and already
+// holds the value); WirePackets forces the codec round trip.
+func (e *Engine) sendPartial(d channel.Dir, p amba.PartialState) {
+	if e.cfg.WirePackets {
+		e.packBuf = p.Pack(e.packBuf[:0])
+		e.ch.Send(d, e.packBuf)
+		return
+	}
+	e.ch.Account(d, p.PackedWords())
+}
+
+// recvPartial yields the contribution shipped with sendPartial. sent
+// is the value the in-process sender handed over; irqMask is the
+// receiver's static configuration for the sender's interrupt lines.
+// The loopback path returns sent unchanged — the wire codec
+// round-trips every packable state losslessly (design validation
+// bounds masters and IRQ lines to the header's eight bits), which the
+// wire-codec differential test pins end to end.
+func (e *Engine) recvPartial(d channel.Dir, sent amba.PartialState, irqMask uint32) (amba.PartialState, error) {
+	if !e.cfg.WirePackets {
+		return sent, nil
+	}
+	pkt := e.ch.Recv(d)
+	p, _, err := amba.Unpack(pkt, irqMask)
+	e.ch.Release(pkt)
+	return p, err
 }
 
 // conservativeCycle synchronizes both domains for one cycle the
 // conventional way: each domain evaluates and ships its contribution,
-// two channel accesses total (the C-path of the paper's Figure 3).
+// two channel accesses total (the C-path of the paper's Figure 3). The
+// committed template (per-domain contributions and merged state) is
+// recorded for the conservative batching fast path.
 func (e *Engine) conservativeCycle() error {
 	if e.canceled() {
 		return errCanceled
 	}
 	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
 	simOut := simD.Evaluate(&e.ledger)
-	e.packBuf = simOut.Pack(e.packBuf[:0])
-	e.ch.Send(channel.SimToAcc, e.packBuf)
+	e.sendPartial(channel.SimToAcc, simOut)
 	accOut := accD.Evaluate(&e.ledger)
-	e.packBuf = accOut.Pack(e.packBuf[:0])
-	e.ch.Send(channel.AccToSim, e.packBuf)
+	e.sendPartial(channel.AccToSim, accOut)
 
-	simPkt := e.ch.Recv(channel.AccToSim)
-	simIn, _, err := amba.Unpack(simPkt, accD.LocalIRQMask())
-	e.ch.Release(simPkt)
+	simIn, err := e.recvPartial(channel.AccToSim, accOut, accD.LocalIRQMask())
 	if err != nil {
 		return fmt.Errorf("core: conservative sim<-acc: %w", err)
 	}
-	accPkt := e.ch.Recv(channel.SimToAcc)
-	accIn, _, err := amba.Unpack(accPkt, simD.LocalIRQMask())
-	e.ch.Release(accPkt)
+	accIn, err := e.recvPartial(channel.SimToAcc, simOut, simD.LocalIRQMask())
 	if err != nil {
 		return fmt.Errorf("core: conservative acc<-sim: %w", err)
 	}
@@ -367,34 +480,112 @@ func (e *Engine) conservativeCycle() error {
 	if !fullSim.Equal(fullAcc) {
 		return fmt.Errorf("core: domains diverged on a conservative cycle:\nsim: %s\nacc: %s", fullSim, fullAcc)
 	}
+	e.consOut[SimDomain] = simOut
+	e.consOut[AccDomain] = accOut
+	e.consFull = fullSim
 	e.stats.ConservativeCycles++
 	e.failEWMA *= ewmaDecay
 	return e.commitTrace(fullSim)
 }
 
-// chooseLeader picks the leading domain for the next transition, or nil
-// for a conservative cycle.
-func (e *Engine) chooseLeader() *Domain {
+// batchConservative extends the conservative cycle just committed
+// across a provably quiescent stretch: when both domains are idle from
+// ground truth, both predictors hold their outcomes (so the per-cycle
+// leader choice and its decline accounting replicate exactly), and the
+// recorded contributions are inactive, up to CycleBatch-1 further
+// cycles are committed in one step. Every ledger charge, channel
+// access, statistic and trace record lands exactly as the single-step
+// loop would have left it. decl is the decline record of the leader
+// choice that preceded the seed cycle, replayed once per batched
+// cycle.
+func (e *Engine) batchConservative(cycles int64, decl declinePair) error {
+	n := int64(e.cfg.CycleBatch) - 1
+	if rem := cycles - e.stats.Committed; rem < n {
+		n = rem
+	}
+	if n <= 0 {
+		return nil
+	}
+	if e.cfg.Mode != Conservative && decl == (declinePair{}) {
+		// A nil leader without a single recorded decline in an
+		// optimistic mode means the seed's choice was made under
+		// adaptive-governor back-off: the predictors were never
+		// consulted, and the estimate decayed by the seed cycle may
+		// re-enable them on the very next choice — a batch would
+		// replicate a decision the single-step engine no longer makes.
+		// Single-step through the back-off instead. (Checking the
+		// decline record rather than failEWMA keeps the guard exact on
+		// the threshold-crossing cycle, where the seed saw the
+		// pre-decay estimate.)
+		return nil
+	}
+	if !inactivePartial(&e.consOut[SimDomain]) || !inactivePartial(&e.consOut[AccDomain]) {
+		return nil
+	}
+	for _, d := range e.domains {
+		if q := d.QuiescentCycles(); q < n {
+			n = q
+		}
+		if q := d.PredictionStableCycles(); q < n {
+			n = q
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	if e.canceled() {
+		return errCanceled
+	}
+
+	e.ch.AccountN(channel.SimToAcc, e.consOut[SimDomain].PackedWords(), n)
+	e.ch.AccountN(channel.AccToSim, e.consOut[AccDomain].PackedWords(), n)
+	e.domains[SimDomain].AdvanceQuiescent(&e.ledger, n)
+	e.domains[AccDomain].AdvanceQuiescent(&e.ledger, n)
+	e.stats.ConservativeCycles += n
+	e.stats.BatchedCycles += n
+	e.recordDeclines(decl, n)
+	for i := int64(0); i < n; i++ {
+		e.failEWMA *= ewmaDecay
+	}
+	return e.commitTraceN(e.consFull, n)
+}
+
+// declinePair is the decline record of one leader choice: at most two
+// predictors are consulted per cycle (Auto tries both orders), and
+// DeclineNone slots are empty.
+type declinePair [2]DeclineReason
+
+// pickLeader picks the leading domain for the next transition (nil for
+// a conservative cycle) and returns which predictors declined. Its
+// only side effects are the Predict calls the protocol performs
+// anyway; the caller records the declines — separating the choice from
+// its accounting is what lets a batched quiescent stretch, across
+// which the choice is provably constant, replicate the per-cycle
+// decline statistics exactly.
+func (e *Engine) pickLeader() (*Domain, declinePair) {
+	var decl declinePair
 	if e.cfg.Adaptive && e.failEWMA > e.cfg.AdaptiveThreshold {
 		// Governor back-off: recent predictions were too unreliable for
 		// optimism to pay; run conservative and let the estimate decay.
-		return nil
+		return nil, decl
 	}
+	slot := 0
 	try := func(d *Domain) *Domain {
-		if _, reason := d.Predict(); reason == DeclineNone {
+		_, reason := d.Predict()
+		if reason == DeclineNone {
 			return d
-		} else {
-			e.stats.Declines[reason]++
 		}
+		decl[slot] = reason
+		slot++
 		return nil
 	}
 	switch e.cfg.Mode {
 	case Conservative:
-		return nil
+		return nil, decl
 	case SLA:
-		return try(e.domains[SimDomain])
+		return try(e.domains[SimDomain]), decl
 	case ALS:
-		return try(e.domains[AccDomain])
+		return try(e.domains[AccDomain]), decl
 	case Auto:
 		// The data source leads: for a write in flight that is the
 		// master's domain, for a read the slave's. Idle bus: prefer the
@@ -409,12 +600,30 @@ func (e *Engine) chooseLeader() *Domain {
 			}
 		}
 		if d := try(pref); d != nil {
-			return d
+			return d, decl
 		}
-		return try(e.domains[pref.ID().Other()])
+		return try(e.domains[pref.ID().Other()]), decl
 	default:
-		return nil
+		return nil, decl
 	}
+}
+
+// recordDeclines adds n repetitions of one cycle's decline record to
+// the stats.
+func (e *Engine) recordDeclines(decl declinePair, n int64) {
+	for _, r := range decl {
+		if r != DeclineNone {
+			e.stats.Declines[r] += n
+		}
+	}
+}
+
+// chooseLeader is pickLeader plus its decline accounting — one cycle's
+// leader choice exactly as the run loop performs it.
+func (e *Engine) chooseLeader() *Domain {
+	d, decl := e.pickLeader()
+	e.recordDeclines(decl, 1)
+	return d
 }
 
 // masterDomain returns the domain of global master index i.
@@ -508,24 +717,53 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		preds = append(preds, pred)
 		leader.Commit(pred)
 		e.stats.RunAheadCycles++
+
+		// Predicted-quiescence fast path: when the leader is provably
+		// idle and the predictor guarantees the same inactive
+		// prediction for the cycles ahead, the coming run-ahead cycles
+		// are exact repetitions of the entry just deposited — commit a
+		// batch of them in one step (LOB deposits included, so the
+		// flush on the wire is unchanged).
+		if n := e.runAheadQuiescent(leader, &entry, budget); n > 0 {
+			if e.canceled() {
+				return committedLead, errCanceled
+			}
+			for k := int64(0); k < n; k++ {
+				e.lob.Push(entry)
+				preds = append(preds, pred)
+			}
+			leader.AdvanceQuiescent(&e.ledger, n)
+			e.stats.RunAheadCycles += n
+			e.stats.BatchedCycles += n
+		}
 	}
 
-	// Flush (S-2): the whole LOB crosses the channel as one burst.
+	// Flush (S-2): the whole LOB crosses the channel as one burst. Both
+	// endpoints are this engine, so the loopback path accounts the
+	// access at the packed size and replays the entries straight from
+	// the buffer; WirePackets forces the codec round trip.
 	entries := e.lob.Entries()
-	e.packBuf = packFlush(e.packBuf[:0], entries)
-	e.ch.Send(dirFrom(leader.ID()), e.packBuf)
-	flushPkt := e.ch.Recv(dirFrom(leader.ID()))
-	got, err := unpackFlush(e.flushEnt[:0], flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
-	e.flushEnt = got[:0]
-	e.ch.Release(flushPkt)
-	if err != nil {
-		return committedLead, err
+	got := entries
+	if e.cfg.WirePackets {
+		e.packBuf = packFlush(e.packBuf[:0], entries)
+		e.ch.Send(dirFrom(leader.ID()), e.packBuf)
+		flushPkt := e.ch.Recv(dirFrom(leader.ID()))
+		var err error
+		got, err = unpackFlush(e.flushEnt[:0], flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
+		e.flushEnt = got[:0]
+		e.ch.Release(flushPkt)
+		if err != nil {
+			return committedLead, err
+		}
+	} else {
+		e.ch.Account(dirFrom(leader.ID()), e.lob.Words())
 	}
 
 	// Follow-Up (L-path): the lagger replays each cycle with the
 	// leader's outputs and checks each prediction (L-1).
 	committed := committedLead
-	for i, entry := range got {
+	for i := 0; i < len(got); i++ {
+		entry := got[i]
 		if e.canceled() {
 			return committed, errCanceled
 		}
@@ -540,11 +778,7 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		if !entry.HasPred {
 			// Final entry: report the lagger's actual contribution
 			// (R-path); the leader completes its pending cycle with it.
-			e.packBuf = packReport(e.packBuf[:0], true, 0, laggerOut)
-			e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
-			repPkt := e.ch.Recv(dirFrom(lagger.ID()))
-			ok, _, actual, err := unpackReport(repPkt, lagger.LocalIRQMask())
-			e.ch.Release(repPkt)
+			ok, _, actual, err := e.exchangeReport(lagger, true, 0, laggerOut)
 			if err != nil || !ok {
 				return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
 			}
@@ -560,17 +794,32 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		}
 		if match {
 			e.failEWMA *= 1 - ewmaBlend
+			// Predicted-quiescence fast path: a run of identical idle
+			// entries replayed into a provably idle lagger repeats the
+			// cycle just checked — commit the run in one step. (The
+			// final, prediction-less entry never matches the run, so
+			// the batch always stops short of it.)
+			if n := e.followUpQuiescent(lagger, got, i); n > 0 {
+				lagger.AdvanceQuiescent(&e.ledger, n)
+				e.stats.FollowUpCycles += n
+				e.stats.ChecksTotal += n
+				e.stats.BatchedCycles += n
+				for k := int64(0); k < n; k++ {
+					e.failEWMA *= 1 - ewmaBlend
+				}
+				if err := e.commitTraceN(full, n); err != nil {
+					return committed, err
+				}
+				committed += n
+				i += int(n)
+			}
 			continue
 		}
 		e.failEWMA = e.failEWMA*(1-ewmaBlend) + ewmaBlend
 		e.stats.Mispredicts++
 
 		// Prediction failure (L-5): report the actual contribution.
-		e.packBuf = packReport(e.packBuf[:0], false, i, laggerOut)
-		e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
-		repPkt := e.ch.Recv(dirFrom(lagger.ID()))
-		ok, idx, actual, err := unpackReport(repPkt, lagger.LocalIRQMask())
-		e.ch.Release(repPkt)
+		ok, idx, actual, err := e.exchangeReport(lagger, false, i, laggerOut)
 		if err != nil || ok || idx != i {
 			return committed, fmt.Errorf("core: failure report: ok=%v idx=%d err=%v", ok, idx, err)
 		}
@@ -599,6 +848,85 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	return committed, fmt.Errorf("core: transition fell through (no final entry)")
 }
 
+// runAheadQuiescent bounds the number of additional run-ahead cycles
+// guaranteed to repeat the entry just committed: the entry must be
+// inactive in both directions, the leader provably idle from ground
+// truth, the prediction stable, and every batched entry must remain
+// non-final — the cycle after the batch still needs budget and LOB
+// room (worst-case final entry included) so the stop decision is taken
+// on a really-evaluated cycle exactly as in the single-step loop.
+// Returns 0 when the next cycle must be evaluated for real.
+func (e *Engine) runAheadQuiescent(leader *Domain, entry *Entry, budget int64) int64 {
+	n := int64(e.cfg.CycleBatch) - 1
+	if n <= 0 {
+		return 0
+	}
+	if !inactivePartial(&entry.Out) || !inactivePartial(&entry.Pred) {
+		return 0
+	}
+	if q := leader.QuiescentCycles(); q < n {
+		n = q
+	}
+	if q := leader.PredictionStableCycles(); q < n {
+		n = q
+	}
+	if byBudget := budget - int64(e.lob.Len()) - 1; byBudget < n {
+		n = byBudget
+	}
+	byWords := int64(e.lob.Depth()-maxPartialWords-e.lob.Words()) / int64(entry.Words())
+	if byWords < n {
+		n = byWords
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// followUpQuiescent bounds the number of further flush entries the
+// lagger may commit in one step after the matched check at index i:
+// the entries must repeat entry i exactly, the lagger must be provably
+// idle for the span, and the fault injector must be off (each injector
+// check consumes deterministic randomness that must be drawn cycle by
+// cycle). The final, prediction-less entry never equals a checked one,
+// so the scan always stops before it.
+func (e *Engine) followUpQuiescent(lagger *Domain, got []Entry, i int) int64 {
+	limit := int64(e.cfg.CycleBatch) - 1
+	if limit <= 0 || e.inject != nil {
+		return 0
+	}
+	entry := &got[i]
+	if !inactivePartial(&entry.Out) || !inactivePartial(&entry.Pred) {
+		return 0
+	}
+	if q := lagger.QuiescentCycles(); q < limit {
+		limit = q
+	}
+	n := int64(0)
+	for n < limit && i+1+int(n) < len(got) && got[i+1+int(n)] == *entry {
+		n++
+	}
+	return n
+}
+
+// exchangeReport carries a follow-up report (success, or failure at
+// idx, plus the lagger's actual contribution) from lagger to leader
+// and returns it as the leader decodes it. The loopback path accounts
+// the access and hands the values through; WirePackets forces the
+// codec round trip.
+func (e *Engine) exchangeReport(lagger *Domain, success bool, idx int, actual amba.PartialState) (bool, int, amba.PartialState, error) {
+	if e.cfg.WirePackets {
+		e.packBuf = packReport(e.packBuf[:0], success, idx, actual)
+		e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
+		repPkt := e.ch.Recv(dirFrom(lagger.ID()))
+		ok, i, act, err := unpackReport(repPkt, lagger.LocalIRQMask())
+		e.ch.Release(repPkt)
+		return ok, i, act, err
+	}
+	e.ch.Account(dirFrom(lagger.ID()), 1+actual.PackedWords())
+	return success, idx, actual, nil
+}
+
 // Run executes the co-emulation for the given number of target cycles
 // and returns the report.
 func (e *Engine) Run(cycles int64) (*Report, error) {
@@ -617,9 +945,15 @@ func (e *Engine) RunContext(ctx context.Context, cycles int64) (*Report, error) 
 	e.done = ctx.Done()
 	defer func() { e.done = nil }()
 	for e.stats.Committed < cycles {
-		leader := e.chooseLeader()
+		leader, decl := e.pickLeader()
+		e.recordDeclines(decl, 1)
 		if leader == nil {
 			if err := e.conservativeCycle(); err != nil {
+				return nil, e.runErr(ctx, err)
+			}
+			// Predicted-quiescence fast path: extend the cycle across
+			// an idle stretch in one batched step.
+			if err := e.batchConservative(cycles, decl); err != nil {
 				return nil, e.runErr(ctx, err)
 			}
 			continue

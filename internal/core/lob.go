@@ -71,14 +71,15 @@ func (l *LOB) Fits(e Entry) bool { return l.Words()+e.Words() <= l.depth }
 // check Fits first — overflow is a channel-wrapper bug, not a condition
 // to absorb.
 func (l *LOB) Push(e Entry) {
-	if !l.Fits(e) {
-		panic(fmt.Sprintf("core: LOB overflow (%d+%d > %d words)", l.Words(), e.Words(), l.depth))
+	w := e.Words()
+	if l.Words()+w > l.depth {
+		panic(fmt.Sprintf("core: LOB overflow (%d+%d > %d words)", l.Words(), w, l.depth))
 	}
 	if len(l.entries) > 0 && !l.entries[len(l.entries)-1].HasPred {
 		panic("core: push after the final (prediction-less) entry")
 	}
 	l.entries = append(l.entries, e)
-	l.words += e.Words()
+	l.words += w
 	if l.Words() > l.peak {
 		l.peak = l.Words()
 	}

@@ -232,6 +232,44 @@ func (p *remotePredictor) StashDataPhase() {
 	p.pendingDPSlave = s
 }
 
+// PredictStableFor reports for how many upcoming cycles the
+// predictor's Predict outcome — the predicted remote contribution and
+// the confident/declined verdict alike — is guaranteed to stay
+// exactly as it is now, provided only idle cycles are observed in the
+// meantime. A data phase in flight or a wait state pins the horizon to
+// 0 (response predictions evolve per cycle); otherwise the only
+// idle-time evolution is the granted remote master's gap model, whose
+// remaining span bounds the horizon. The engine uses this bound both
+// to keep per-cycle leader-choice decisions (and their decline
+// accounting) replicable across a batched stretch and to guarantee a
+// leader's run-ahead predictions stay constant.
+func (p *remotePredictor) PredictStableFor() int64 {
+	if v, _, _, _ := p.b.DataPhase(); v {
+		return 0
+	}
+	if p.lastValid && !p.lastFull.Reply.Ready {
+		return 0
+	}
+	if t := p.trackers[p.b.Grant()]; t != nil {
+		return t.IdleStableFor()
+	}
+	return predict.Unbounded
+}
+
+// SkipIdle advances the predictor across n committed idle cycles in
+// one step, bit-identically to n Observe calls with the constant idle
+// contribution the stretch repeats: the request/IRQ last-value
+// predictors and the wait models are already at fixed points, the
+// last-seen full state is unchanged, and only the granted remote
+// master's burst tracker accumulates idle time. Callers must have
+// proven the stretch (Domain.QuiescentCycles plus PredictStableFor or
+// an entry-run check) before skipping.
+func (p *remotePredictor) SkipIdle(n int64) {
+	if t := p.trackers[p.b.Grant()]; t != nil {
+		t.SkipIdle(n)
+	}
+}
+
 // predictorSnap freezes a remotePredictor.
 type predictorSnap struct {
 	Req      any

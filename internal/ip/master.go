@@ -2,6 +2,7 @@ package ip
 
 import (
 	"fmt"
+	"math"
 
 	"coemu/internal/amba"
 	"coemu/internal/bus"
@@ -168,6 +169,39 @@ func (m *TrafficMaster) Stats() (beats, retries, errors int64) {
 // traffic to issue.
 func (m *TrafficMaster) Idle() bool {
 	return !m.st.Cur.Valid && m.st.Done && m.st.DataBeat < 0
+}
+
+// QuiescentCycles reports for how many upcoming cycles the master is
+// guaranteed to contribute nothing to the bus: no request, an IDLE
+// address phase, no beat in either pipeline phase. The bound is exact
+// ground truth (the generator has already handed over the next
+// transfer, so the remaining inter-transfer gap is known), which is
+// what lets the engine's predicted-quiescence batching skip the
+// master's Drive/Commit rounds without changing behavior. A master
+// that may act on the very next cycle returns 0.
+func (m *TrafficMaster) QuiescentCycles() int64 {
+	if m.st.DataBeat >= 0 || m.st.Cancel || !m.st.LastReady || m.st.Masked {
+		return 0
+	}
+	if !m.st.Cur.Valid {
+		if m.st.Done {
+			return math.MaxInt64 // stream exhausted: idle forever
+		}
+		return 0
+	}
+	return int64(m.st.Gap) // requests the bus the cycle the gap expires
+}
+
+// SkipIdle advances the master across n quiescent cycles in one step.
+// The resulting state is bit-identical to n Drive/Commit rounds on an
+// idle ready bus: the gap countdown drops by n and the recorded
+// address phase is the IDLE one Drive would have driven. Callers must
+// keep n <= QuiescentCycles().
+func (m *TrafficMaster) SkipIdle(n int64) {
+	m.st.LastAP = amba.AddrPhase{}
+	if m.st.Cur.Valid && m.st.Gap > 0 {
+		m.st.Gap -= int(n)
+	}
 }
 
 // fetch pulls the next transfer from the generator.

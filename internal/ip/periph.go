@@ -2,6 +2,7 @@ package ip
 
 import (
 	"fmt"
+	"math"
 
 	"coemu/internal/amba"
 	"coemu/internal/bus"
@@ -73,6 +74,25 @@ func (p *IRQPeriph) Tick(int64) {
 		return
 	}
 	p.countdown--
+}
+
+// QuiescentFor implements sim.Quiescible: with no countdown armed the
+// peripheral ticks forever without visible effect; an armed countdown
+// of c permits c pure decrements before the tick that raises the
+// interrupt line.
+func (p *IRQPeriph) QuiescentFor() int64 {
+	if p.countdown < 0 {
+		return math.MaxInt64
+	}
+	return p.countdown
+}
+
+// SkipQuiescent implements sim.Quiescible: n ticks collapse to one
+// countdown subtraction. Callers keep n <= QuiescentFor().
+func (p *IRQPeriph) SkipQuiescent(n int64) {
+	if p.countdown >= 0 {
+		p.countdown -= n
+	}
 }
 
 // Respond implements bus.Slave. Register access costs one wait state,

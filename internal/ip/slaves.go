@@ -2,21 +2,13 @@ package ip
 
 import (
 	"fmt"
+	"math"
 
 	"coemu/internal/amba"
 	"coemu/internal/bus"
 	"coemu/internal/rng"
 )
 
-// Memory is a byte-addressable memory slave with a configurable,
-// deterministic wait-state profile: the first beat of a data-phase
-// sequence costs firstWait cycles, subsequent back-to-back beats cost
-// nextWait. With both zero it behaves as a zero-wait SRAM; with
-// firstWait > nextWait it approximates an SDRAM row hit/miss pattern.
-//
-// Deterministic wait profiles are what makes slave responses
-// "predictable" in the paper's sense: the leader-side response predictor
-// runs the same producer-consumer model and stays at 100 % accuracy.
 // Memory pages. Storage is a sparse table of lazily-allocated 4 KB
 // pages rather than a byte map: a word-aligned access never crosses a
 // page, so a beat costs one table lookup plus array indexing instead of
@@ -30,6 +22,15 @@ const (
 
 type memPage [pageSize]byte
 
+// Memory is a byte-addressable memory slave with a configurable,
+// deterministic wait-state profile: the first beat of a data-phase
+// sequence costs firstWait cycles, subsequent back-to-back beats cost
+// nextWait. With both zero it behaves as a zero-wait SRAM; with
+// firstWait > nextWait it approximates an SDRAM row hit/miss pattern.
+//
+// Deterministic wait profiles are what makes slave responses
+// "predictable" in the paper's sense: the leader-side response predictor
+// runs the same producer-consumer model and stays at 100 % accuracy.
 type Memory struct {
 	name      string
 	firstWait int
@@ -554,6 +555,28 @@ func (s *SplitMemory) Tick(int64) {
 		s.countdown = -1
 	default:
 		s.countdown--
+	}
+}
+
+// QuiescentFor implements sim.Quiescible: a pending (raised but not
+// yet consumed) release line blocks batching outright; an armed
+// countdown of c permits c pure decrements before the tick that
+// raises the HSPLITx line; an idle countdown never acts.
+func (s *SplitMemory) QuiescentFor() int64 {
+	if s.release != 0 {
+		return 0
+	}
+	if s.countdown < 0 {
+		return math.MaxInt64
+	}
+	return int64(s.countdown)
+}
+
+// SkipQuiescent implements sim.Quiescible: n ticks collapse to one
+// countdown subtraction. Callers keep n <= QuiescentFor().
+func (s *SplitMemory) SkipQuiescent(n int64) {
+	if s.countdown >= 0 {
+		s.countdown -= int(n)
 	}
 }
 

@@ -1,0 +1,73 @@
+package predict
+
+import (
+	"testing"
+
+	"coemu/internal/amba"
+)
+
+// TestBurstTrackerSkipIdleMatchesObserves pins the batch contract:
+// SkipIdle(n) leaves the tracker bit-identical to n idle Observes, for
+// every extension configuration.
+func TestBurstTrackerSkipIdleMatchesObserves(t *testing.T) {
+	configs := []struct{ idle, starts bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+	for _, c := range configs {
+		seq := &BurstTracker{PredictIdle: c.idle, PredictStarts: c.starts}
+		bat := &BurstTracker{PredictIdle: c.idle, PredictStarts: c.starts}
+		for _, tr := range []*BurstTracker{seq, bat} {
+			observeBurst(tr, 0x1000, amba.BurstIncr4)
+			tr.Observe(amba.AddrPhase{Trans: amba.TransIdle}) // the seed idle cycle
+		}
+		const n = 17
+		for i := 0; i < n; i++ {
+			seq.Observe(amba.AddrPhase{Trans: amba.TransIdle})
+		}
+		bat.SkipIdle(n)
+		if seq.st != bat.st {
+			t.Errorf("idle=%v starts=%v: SkipIdle diverged: seq %+v, batch %+v",
+				c.idle, c.starts, seq.st, bat.st)
+		}
+	}
+}
+
+// TestIdleStableForGapModel pins the stability horizon: with the
+// burst-start extension armed, predictions hold exactly until the
+// learned inter-burst gap elapses.
+func TestIdleStableForGapModel(t *testing.T) {
+	tr := &BurstTracker{PredictStarts: true}
+	// Two bursts separated by a 5-cycle idle gap teach stride and gap.
+	observeBurst(tr, 0x1000, amba.BurstIncr4)
+	for i := 0; i < 5; i++ {
+		tr.Observe(amba.AddrPhase{Trans: amba.TransIdle})
+	}
+	observeBurst(tr, 0x2000, amba.BurstIncr4)
+	tr.Observe(amba.AddrPhase{Trans: amba.TransIdle}) // 1 idle cycle into the gap
+	if got := tr.IdleStableFor(); got != 4 {
+		t.Fatalf("IdleStableFor = %d, want 4 (5-cycle gap, 1 elapsed)", got)
+	}
+	// Crossing the horizon flips the prediction to a burst start.
+	if ap, ok := tr.Predict(); !ok || ap.Trans.Active() {
+		t.Fatalf("inside the gap: predicted %+v ok=%v, want confident idle", ap, ok)
+	}
+	tr.SkipIdle(4)
+	if got := tr.IdleStableFor(); got != 0 {
+		t.Fatalf("IdleStableFor after gap = %d, want 0", got)
+	}
+	if ap, ok := tr.Predict(); !ok || ap.Trans != amba.TransNonSeq || ap.Addr != 0x3000 {
+		t.Fatalf("after the gap: predicted %+v ok=%v, want NONSEQ @0x3000", ap, ok)
+	}
+}
+
+// TestIdleStableForUnboundedWithoutGapModel pins the horizon for
+// trackers whose idle prediction cannot change: last-value idle or a
+// plain decline, forever.
+func TestIdleStableForUnboundedWithoutGapModel(t *testing.T) {
+	tr := &BurstTracker{PredictIdle: true}
+	observeBurst(tr, 0x1000, amba.BurstIncr4)
+	tr.Observe(amba.AddrPhase{Trans: amba.TransIdle})
+	if got := tr.IdleStableFor(); got != Unbounded {
+		t.Fatalf("IdleStableFor = %d, want Unbounded", got)
+	}
+}

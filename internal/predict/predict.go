@@ -18,10 +18,16 @@ package predict
 
 import (
 	"fmt"
+	"math"
 
 	"coemu/internal/amba"
 	"coemu/internal/rng"
 )
+
+// Unbounded is the quiescence horizon of a predictor whose output is
+// provably stable forever (until something other than the passage of
+// idle cycles perturbs it). Callers min it against their own bounds.
+const Unbounded = int64(math.MaxInt64)
 
 // LastValue predicts a bitmask signal group (bus requests, interrupt
 // lines) as "same as last observed". In SoC designs where data flows in
@@ -202,6 +208,39 @@ func (t *BurstTracker) Predict() (amba.AddrPhase, bool) {
 	next.Trans = amba.TransSeq
 	next.Addr = amba.NextAddr(next.Addr, next.Size, next.Burst)
 	return next, true
+}
+
+// IdleStableFor reports for how many further idle-observed cycles the
+// tracker's Predict outcome (both the predicted value and the
+// confident/declined verdict) is guaranteed not to change. It is
+// meaningful right after an idle observation (the tracked master drove
+// TransIdle on the last ready cycle); a tracker still inside a burst
+// returns 0. The only idle-time state the tracker evolves is the
+// inter-burst gap counter, so the horizon is the remaining learned gap
+// when the gap model is armed and Unbounded otherwise.
+func (t *BurstTracker) IdleStableFor() int64 {
+	if t.st.Valid && t.st.Last.Trans.Active() {
+		return 0
+	}
+	if t.PredictStarts && t.st.Ended && t.st.HasGap {
+		r := int64(t.st.GapLen - t.st.IdleRun)
+		if r < 0 {
+			r = 0
+		}
+		return r
+	}
+	return Unbounded
+}
+
+// SkipIdle applies n idle observations in one step: the state after
+// SkipIdle(n) is bit-identical to n sequential Observe calls with an
+// IDLE address phase. Used by the engine's predicted-quiescence
+// batching; callers single-step the cycle that wakes the master.
+func (t *BurstTracker) SkipIdle(n int64) {
+	t.st.Valid = false
+	if t.st.Ended {
+		t.st.IdleRun += int(n)
+	}
 }
 
 // Save implements rollback.Snapshotter.

@@ -1,0 +1,21 @@
+package sim
+
+import "testing"
+
+// TestClockAdvanceN pins the batch contract on the cycle counter.
+func TestClockAdvanceN(t *testing.T) {
+	var seq, bat Clock
+	for i := 0; i < 42; i++ {
+		seq.Advance()
+	}
+	bat.AdvanceN(42)
+	if seq.Now() != bat.Now() {
+		t.Fatalf("AdvanceN diverged: %d vs %d", seq.Now(), bat.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AdvanceN must panic")
+		}
+	}()
+	bat.AdvanceN(-1)
+}

@@ -28,6 +28,25 @@ type Resettable interface {
 	Reset()
 }
 
+// Quiescible is an optional extension of Clocked for components that
+// can prove inactivity, enabling the engine's predicted-quiescence
+// cycle batching. QuiescentFor returns how many upcoming Tick calls
+// are guaranteed to be pure internal counter advances: no change to
+// any externally visible output (interrupt lines, split releases,
+// bus replies) and no dependence on the cycle index. SkipQuiescent
+// applies n such ticks in one step; the resulting component state must
+// be bit-identical to n sequential Tick calls. Callers must keep
+// n <= QuiescentFor().
+//
+// A Clocked component that does not implement Quiescible simply caps
+// its domain's batch size at zero — the engine falls back to
+// single-stepping, never to guessing.
+type Quiescible interface {
+	Clocked
+	QuiescentFor() int64
+	SkipQuiescent(n int64)
+}
+
 // Clock is a target-clock cycle counter with snapshot support, so a
 // leader domain can roll its notion of time back together with its
 // components.
@@ -44,6 +63,15 @@ func (c *Clock) Advance() int64 {
 	n := c.cycle
 	c.cycle++
 	return n
+}
+
+// AdvanceN moves the clock forward n cycles in one step, the batch
+// counterpart of Advance for quiescent stretches. Negative n panics.
+func (c *Clock) AdvanceN(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: clock advance by negative %d", n))
+	}
+	c.cycle += n
 }
 
 // Save returns an opaque snapshot of the clock.

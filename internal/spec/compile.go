@@ -60,6 +60,7 @@ func (s *Spec) Compile() (core.Design, core.Config, error) {
 		Accuracy:               n.Run.Accuracy,
 		FaultSeed:              n.Run.FaultSeed,
 		RollbackVars:           n.Run.RollbackVars,
+		CycleBatch:             n.Run.CycleBatch,
 		PredictIdle:            n.Run.PredictIdle,
 		PredictBurstStarts:     n.Run.PredictBurstStarts,
 		Adaptive:               n.Run.Adaptive,

@@ -27,6 +27,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"coemu/internal/core"
 )
 
 // Addr is a bus address. It unmarshals from either a JSON number or a
@@ -164,6 +166,12 @@ type Run struct {
 	Accuracy     float64 `json:"accuracy,omitempty"`  // (0,1]; 0 and 1 both mean organic
 	FaultSeed    uint64  `json:"fault_seed,omitempty"`
 	RollbackVars int     `json:"rollback_vars,omitempty"`
+
+	// CycleBatch caps the engine's predicted-quiescence cycle
+	// batching (host-side fast path; modeled metrics are bit-identical
+	// for every setting). 0 selects the engine default (64); 1
+	// disables batching.
+	CycleBatch int `json:"cycle_batch,omitempty"`
 
 	PredictIdle        bool    `json:"predict_idle,omitempty"`
 	PredictBurstStarts bool    `json:"predict_burst_starts,omitempty"`
@@ -304,7 +312,7 @@ func (s *Spec) Validate() error {
 	if r.Cycles <= 0 {
 		return fmt.Errorf("spec: run.cycles must be positive, got %d", r.Cycles)
 	}
-	if r.SimSpeed < 0 || r.AccSpeed < 0 || r.LOBDepth < 0 || r.RollbackVars < 0 {
+	if r.SimSpeed < 0 || r.AccSpeed < 0 || r.LOBDepth < 0 || r.RollbackVars < 0 || r.CycleBatch < 0 {
 		return fmt.Errorf("spec: negative run parameter")
 	}
 	if r.Accuracy < 0 || r.Accuracy > 1 {
@@ -357,6 +365,9 @@ func (s *Spec) Normalized() (*Spec, error) {
 	if r.LOBDepth == 0 {
 		r.LOBDepth = 64
 	}
+	if r.CycleBatch == 0 {
+		r.CycleBatch = core.DefaultCycleBatch
+	}
 	if r.Accuracy == 0 {
 		r.Accuracy = 1
 	}
@@ -385,6 +396,11 @@ func (s *Spec) CanonicalHash() (string, error) {
 		return "", err
 	}
 	n.Name = ""
+	// CycleBatch is a host-side knob: the engine's batching fast path
+	// produces bit-identical reports at every setting (pinned by the
+	// batch differential tests), so it must not split the result
+	// cache. Hash the canonical default instead of the user's value.
+	n.Run.CycleBatch = core.DefaultCycleBatch
 	b, err := json.Marshal(n)
 	if err != nil {
 		return "", fmt.Errorf("spec: canonical encode: %w", err)

@@ -267,3 +267,41 @@ func TestKindLists(t *testing.T) {
 		t.Fatalf("slave kinds: %s", sk)
 	}
 }
+
+func TestCycleBatchNormalizationAndHash(t *testing.T) {
+	// Omitted cycle_batch normalizes to the engine default.
+	s := parseOK(t, streamSpecJSON)
+	n, err := s.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Run.CycleBatch != 64 {
+		t.Fatalf("normalized cycle_batch = %d, want 64", n.Run.CycleBatch)
+	}
+	// The knob is host-side only: reports are bit-identical at every
+	// setting, so it must not split the result cache.
+	h0, _ := s.CanonicalHash()
+	s1 := parseOK(t, streamSpecJSON)
+	s1.Run.CycleBatch = 1
+	h1, err := s1.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h0 {
+		t.Fatal("cycle_batch changed the canonical hash")
+	}
+	// But it still reaches the compiled engine config.
+	_, cfg, err := s1.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CycleBatch != 1 {
+		t.Fatalf("compiled CycleBatch = %d, want 1", cfg.CycleBatch)
+	}
+	// Negative values are rejected.
+	bad := parseOK(t, streamSpecJSON)
+	bad.Run.CycleBatch = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative cycle_batch validated")
+	}
+}

@@ -1,0 +1,46 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChargeNMatchesSequentialCharges pins the batch contract: ChargeN
+// leaves the ledger bit-identical to n sequential Charges.
+func TestChargeNMatchesSequentialCharges(t *testing.T) {
+	var seq, batch Ledger
+	const d = 137 * time.Nanosecond
+	for i := 0; i < 53; i++ {
+		seq.Charge(Acc, d)
+	}
+	batch.ChargeN(Acc, d, 53)
+	if seq != batch {
+		t.Fatalf("ChargeN diverged: seq %+v, batch %+v", seq, batch)
+	}
+	if batch.Count(Acc) != 53 || batch.Get(Acc) != 53*d {
+		t.Fatalf("ChargeN accounting: count=%d total=%v", batch.Count(Acc), batch.Get(Acc))
+	}
+}
+
+func TestChargeNPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(l *Ledger)
+	}{
+		{"zero-count", func(l *Ledger) { l.ChargeN(Sim, time.Nanosecond, 0) }},
+		{"negative-count", func(l *Ledger) { l.ChargeN(Sim, time.Nanosecond, -1) }},
+		{"negative-duration", func(l *Ledger) { l.ChargeN(Sim, -time.Nanosecond, 1) }},
+		{"bad-category", func(l *Ledger) { l.ChargeN(numCategories, time.Nanosecond, 1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			var l Ledger
+			c.f(&l)
+		})
+	}
+}

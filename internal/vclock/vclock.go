@@ -74,14 +74,28 @@ type Ledger struct {
 // virtual time never runs backwards, and a negative charge always
 // indicates a bug in a cost model.
 func (l *Ledger) Charge(c Category, d time.Duration) {
+	l.ChargeN(c, d, 1)
+}
+
+// ChargeN adds n identical charges of d to category c in one call. It
+// is the batch counterpart of Charge used by the engine's
+// predicted-quiescence fast path: the resulting buckets and charge
+// counts are bit-identical to n sequential Charge calls (duration
+// arithmetic is exact integer math), at O(1) instead of O(n) cost.
+// Non-positive n panics: a zero-cycle batch indicates a bug in the
+// caller's batch sizing.
+func (l *Ledger) ChargeN(c Category, d time.Duration, n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("vclock: non-positive batch charge count %d to %v", n, c))
+	}
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative charge %v to %v", d, c))
 	}
 	if c >= numCategories {
 		panic(fmt.Sprintf("vclock: invalid category %d", c))
 	}
-	l.buckets[c] += d
-	l.charges[c]++
+	l.buckets[c] += time.Duration(n) * d
+	l.charges[c] += n
 }
 
 // Get returns the accumulated time in category c.
