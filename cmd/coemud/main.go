@@ -3,10 +3,13 @@
 // modeled report. A bounded worker pool executes runs in parallel,
 // duplicate specs coalesce onto one run, and an LRU cache keyed by the
 // canonical spec hash answers repeats with bit-identical reports.
-// In-flight runs cancel within one domain cycle when the submitting
-// client aborts or the server shuts down.
+// With -store, completed results are also written through to a
+// persistent content-addressed store, so a restarted daemon (or a
+// sibling process sharing the directory) serves previously computed
+// runs with zero engine runs. In-flight runs cancel within one domain
+// cycle when the submitting client aborts or the server shuts down.
 //
-//	coemud -addr :8080 -j 8 -cache 256
+//	coemud -addr :8080 -j 8 -cache 256 -store /var/lib/coemud
 //
 // API (JSON in, JSON out):
 //
@@ -21,14 +24,17 @@
 //	GET    /v1/jobs/{id}/result block until the job completes, then
 //	                            return its report.
 //	DELETE /v1/jobs/{id}        cancel a job.
-//	POST   /v1/sweep            {"specs": [spec, ...]}: run a batch on
-//	                            the pool; returns per-spec results in
-//	                            input order.
-//	GET    /v1/stats            worker/cache counters.
+//	POST   /v1/sweep            a sweep document (spec + "sweep" grid
+//	                            block) or {"specs": [spec, ...]}: fan
+//	                            the points out over the pool, streaming
+//	                            one NDJSON result line per point in
+//	                            point order plus a final aggregate line.
+//	GET    /v1/stats            worker/cache/store/sweep counters.
 //	GET    /healthz             liveness.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -40,12 +46,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
 	"syscall"
 	"time"
 
 	"coemu/internal/service"
 	"coemu/internal/spec"
+	"coemu/internal/store"
 )
 
 func main() {
@@ -54,12 +60,24 @@ func main() {
 	cache := flag.Int("cache", 128, "result cache capacity in reports (negative disables)")
 	queue := flag.Int("queue", 256, "pending job queue depth")
 	maxBody := flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	sweepMax := flag.Int("sweep-max", spec.MaxSweepPoints, "maximum points one /v1/sweep request may expand to")
+	storeDir := flag.String("store", "", "persistent result store directory (empty disables)")
+	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "persistent store entry bound (negative = unbounded)")
 	flag.Parse()
 
-	svc := service.New(service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue})
+	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: log.Printf}
+	if *storeDir != "" {
+		disk, err := store.Open(*storeDir, store.Options{MaxEntries: *storeMax})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("result store at %s (%d entries)", disk.Dir(), disk.Len())
+		opts.Store = disk
+	}
+	svc := service.New(opts)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newMux(svc, *maxBody),
+		Handler: newMux(svc, *maxBody, *sweepMax),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,8 +111,11 @@ func main() {
 	<-svcClosed
 }
 
-// newMux builds the HTTP API around a job service.
-func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
+// newMux builds the HTTP API around a job service. sweepMax caps how
+// many points one /v1/sweep request may expand to — the document's own
+// max_points cannot raise it, so an untrusted request cannot blow the
+// daemon up by declaring a huge grid.
+func newMux(svc *service.Service, maxBody int64, sweepMax int) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -102,13 +123,7 @@ func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		hits, misses, size := svc.CacheStats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"cache_hits":   hits,
-			"cache_misses": misses,
-			"cache_size":   size,
-			"jobs":         svc.JobCount(),
-		})
+		writeJSON(w, http.StatusOK, svc.Counters())
 	})
 
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
@@ -123,12 +138,12 @@ func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
 			writeSubmitError(w, err)
 			return
 		}
-		rep, err := job.Wait(r.Context())
+		res, err := job.Wait(r.Context())
 		if err != nil {
 			writeRunError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, service.NewReportView(rep))
+		writeReport(w, res)
 	})
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -163,12 +178,12 @@ func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
 			writeError(w, http.StatusNotFound, err)
 			return
 		}
-		rep, err := job.Wait(r.Context())
+		res, err := job.Wait(r.Context())
 		if err != nil {
 			writeRunError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, service.NewReportView(rep))
+		writeReport(w, res)
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -180,55 +195,104 @@ func newMux(svc *service.Service, maxBody int64) *http.ServeMux {
 	})
 
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
-		var batch struct {
-			Specs []json.RawMessage `json:"specs"`
-		}
-		if !readBody(w, r, maxBody, &batch) {
+		body, ok := readRaw(w, r, maxBody)
+		if !ok {
 			return
 		}
-		if len(batch.Specs) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("sweep: no specs"))
+		points, err := sweepPoints(body, sweepMax)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		type result struct {
-			Hash   string              `json:"hash,omitempty"`
-			Report *service.ReportView `json:"report,omitempty"`
-			Error  string              `json:"error,omitempty"`
+		sw, err := svc.StartSweepPoints(r.Context(), points, true)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
 		}
-		results := make([]result, len(batch.Specs))
-		var wg sync.WaitGroup
-		for i, raw := range batch.Specs {
-			sp, err := spec.Parse(raw)
-			if err != nil {
-				results[i].Error = err.Error()
-				continue
+
+		// NDJSON: one line per point in point order as each settles,
+		// then one aggregate line. Flush per line so a slow sweep
+		// streams progress.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		agg := service.NewSweepAggregator(sw.Total())
+		for pr := range sw.Results() {
+			if err := enc.Encode(agg.Add(pr)); err != nil {
+				return // client went away; sweep ctx cancels via r.Context
 			}
-			job, err := svc.Submit(sp, true)
-			if err != nil {
-				results[i].Error = err.Error()
-				continue
+			if flusher != nil {
+				flusher.Flush()
 			}
-			results[i].Hash = job.Hash()
-			wg.Add(1)
-			go func(i int, job *service.Job) {
-				defer wg.Done()
-				rep, err := job.Wait(r.Context())
-				if err != nil {
-					results[i].Error = err.Error()
-					return
-				}
-				results[i].Report = service.NewReportView(rep)
-			}(i, job)
 		}
-		wg.Wait()
-		writeJSON(w, http.StatusOK, map[string]any{"results": results})
+		if err := enc.Encode(agg.Line()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
 	})
 
 	return mux
 }
 
-// readSpec decodes a spec request body, reporting HTTP errors itself.
-func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec, bool) {
+// sweepPoints turns a /v1/sweep request body into expanded spec
+// points: either an explicit {"specs": [...]} list or a sweep document
+// (a spec with an optional "sweep" grid block). sweepMax bounds the
+// point count either way.
+func sweepPoints(body []byte, sweepMax int) ([]*spec.Spec, error) {
+	var batch struct {
+		Specs []json.RawMessage `json:"specs"`
+	}
+	if err := json.Unmarshal(body, &batch); err == nil && len(batch.Specs) > 0 {
+		if len(batch.Specs) > sweepMax {
+			return nil, fmt.Errorf("sweep: %d specs over the server bound of %d", len(batch.Specs), sweepMax)
+		}
+		points := make([]*spec.Spec, len(batch.Specs))
+		for i, raw := range batch.Specs {
+			sp, err := spec.Parse(raw)
+			if err != nil {
+				return nil, fmt.Errorf("specs[%d]: %w", i, err)
+			}
+			points[i] = sp
+		}
+		return points, nil
+	}
+	ss, err := spec.ParseSweep(body)
+	if err != nil {
+		return nil, err
+	}
+	if n := ss.Points(); n > sweepMax {
+		return nil, fmt.Errorf("sweep: %d points over the server bound of %d", n, sweepMax)
+	}
+	points, err := ss.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// writeReport serves a run result: the stored canonical bytes,
+// re-indented. Using the canonical bytes (rather than re-projecting a
+// report) keeps responses byte-identical across cache hits, store hits
+// and fresh runs.
+func writeReport(w http.ResponseWriter, res *service.Result) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, res.JSON, "", "  "); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	buf.WriteByte('\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+// readRaw reads a bounded request body, reporting HTTP errors itself.
+func readRaw(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -236,6 +300,15 @@ func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec
 	}
 	if int64(len(body)) > maxBody {
 		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body over %d bytes", maxBody))
+		return nil, false
+	}
+	return body, true
+}
+
+// readSpec decodes a spec request body, reporting HTTP errors itself.
+func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec, bool) {
+	body, ok := readRaw(w, r, maxBody)
+	if !ok {
 		return nil, false
 	}
 	sp, err := spec.Parse(body)
@@ -244,24 +317,6 @@ func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec
 		return nil, false
 	}
 	return sp, true
-}
-
-// readBody decodes an arbitrary JSON request body.
-func readBody(w http.ResponseWriter, r *http.Request, maxBody int64, into any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return false
-	}
-	if int64(len(body)) > maxBody {
-		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body over %d bytes", maxBody))
-		return false
-	}
-	if err := json.Unmarshal(body, into); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return false
-	}
-	return true
 }
 
 // writeSubmitError maps Submit failures to HTTP statuses.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"coemu/internal/service"
+	"coemu/internal/store"
 )
 
 func specJSON(cycles int64) string {
@@ -30,13 +31,41 @@ func specJSON(cycles int64) string {
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	svc := service.New(service.Options{Workers: 2})
-	ts := httptest.NewServer(newMux(svc, 1<<20))
+	return newTestServerOpts(t, service.Options{Workers: 2})
+}
+
+func newTestServerOpts(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	svc := service.New(opts)
+	ts := httptest.NewServer(newMux(svc, 1<<20, 100))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
 	})
 	return ts
+}
+
+// decodeNDJSON splits a /v1/sweep response into point lines and the
+// final aggregate line.
+func decodeNDJSON(t *testing.T, body []byte) ([]service.SweepLine, service.SweepAggregate) {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON stream has %d lines: %s", len(lines), body)
+	}
+	var agg service.SweepAggregateLine
+	if err := json.Unmarshal(lines[len(lines)-1], &agg); err != nil {
+		t.Fatalf("aggregate line: %v: %s", err, lines[len(lines)-1])
+	}
+	points := make([]service.SweepLine, 0, len(lines)-1)
+	for _, raw := range lines[:len(lines)-1] {
+		var pl service.SweepLine
+		if err := json.Unmarshal(raw, &pl); err != nil {
+			t.Fatalf("point line: %v: %s", err, raw)
+		}
+		points = append(points, pl)
+	}
+	return points, agg.Aggregate
 }
 
 func post(t *testing.T, url, body string) (int, []byte) {
@@ -216,7 +245,7 @@ func TestCancelEndpoint(t *testing.T) {
 	}
 }
 
-func TestSweepEndpoint(t *testing.T) {
+func TestSweepEndpointSpecList(t *testing.T) {
 	ts := newTestServer(t)
 	batch := fmt.Sprintf(`{"specs": [%s, %s, %s]}`,
 		specJSON(1000), specJSON(1500), specJSON(1000))
@@ -224,29 +253,141 @@ func TestSweepEndpoint(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("sweep status %d: %s", code, body)
 	}
-	var out struct {
-		Results []struct {
-			Hash   string              `json:"hash"`
-			Report *service.ReportView `json:"report"`
-			Error  string              `json:"error"`
-		} `json:"results"`
+	points, agg := decodeNDJSON(t, body)
+	if len(points) != 3 {
+		t.Fatalf("%d point lines", len(points))
 	}
-	if err := json.Unmarshal(body, &out); err != nil {
-		t.Fatal(err)
-	}
-	if len(out.Results) != 3 {
-		t.Fatalf("%d results", len(out.Results))
-	}
-	for i, r := range out.Results {
-		if r.Error != "" || r.Report == nil {
-			t.Fatalf("result %d: %+v", i, r)
+	for i, pl := range points {
+		if pl.Index != i || pl.Error != "" || pl.Report == nil {
+			t.Fatalf("point %d: %+v", i, pl)
 		}
 	}
-	if out.Results[0].Report.Cycles != 1000 || out.Results[1].Report.Cycles != 1500 {
+	var v0, v1 service.ReportView
+	if err := json.Unmarshal(points[0].Report, &v0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(points[1].Report, &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v0.Cycles != 1000 || v1.Cycles != 1500 {
 		t.Fatal("sweep results out of order")
 	}
-	if out.Results[0].Hash != out.Results[2].Hash {
+	if points[0].Hash != points[2].Hash {
 		t.Fatal("identical specs hashed differently")
+	}
+	if !bytes.Equal(points[0].Report, points[2].Report) {
+		t.Fatal("identical specs returned different report bytes")
+	}
+	if agg.Points != 3 || agg.OK != 3 || agg.Errors != 0 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if len(agg.Table) != 3 || agg.Table[1].Committed != 1500 {
+		t.Fatalf("aggregate table %+v", agg.Table)
+	}
+}
+
+func sweepDocJSON(cycles int64) string {
+	return fmt.Sprintf(`{
+	  "name": "grid",
+	  "design": {
+	    "masters": [{"name": "dma", "domain": "acc",
+	      "generator": {"kind": "stream", "window": {"lo": 0, "hi": "0x40000"},
+	                    "write": true, "burst": "INCR8"}}],
+	    "slaves": [{"name": "mem", "domain": "sim", "kind": "sram",
+	      "region": {"lo": 0, "hi": "0x80000"}}]
+	  },
+	  "run": {"mode": "als", "cycles": %d},
+	  "sweep": {"axes": [
+	    {"field": "run.accuracy", "values": [1, 0.9]},
+	    {"field": "run.lob_depth", "values": [32, 64]}
+	  ]}
+	}`, cycles)
+}
+
+func TestSweepEndpointGrid(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := post(t, ts.URL+"/v1/sweep", sweepDocJSON(1200))
+	if code != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", code, body)
+	}
+	points, agg := decodeNDJSON(t, body)
+	if len(points) != 4 {
+		t.Fatalf("%d point lines, want 4", len(points))
+	}
+	hashes := map[string]bool{}
+	for i, pl := range points {
+		if pl.Error != "" || pl.Report == nil {
+			t.Fatalf("point %d: %+v", i, pl)
+		}
+		if !strings.Contains(pl.Name, "run.accuracy=") {
+			t.Fatalf("point %d name %q lacks axis labels", i, pl.Name)
+		}
+		hashes[pl.Hash] = true
+	}
+	if len(hashes) != 4 {
+		t.Fatalf("%d distinct hashes, want 4", len(hashes))
+	}
+	if agg.Points != 4 || agg.OK != 4 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+
+	// Stats picked up the sweep counters.
+	_, statsBody := get(t, ts.URL+"/v1/stats")
+	var c service.Counters
+	if err := json.Unmarshal(statsBody, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sweeps != 1 || c.SweepPoints != 4 {
+		t.Fatalf("stats %+v", c)
+	}
+}
+
+func TestSweepRestartServedFromStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *httptest.Server {
+		disk, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newTestServerOpts(t, service.Options{Workers: 2, Store: disk})
+	}
+
+	ts := open()
+	code, body1 := post(t, ts.URL+"/v1/sweep", sweepDocJSON(900))
+	if code != http.StatusOK {
+		t.Fatalf("first sweep status %d", code)
+	}
+	points1, _ := decodeNDJSON(t, body1)
+
+	// "Restart": a second daemon over the same store directory with a
+	// cold memory cache.
+	ts2 := open()
+	code, body2 := post(t, ts2.URL+"/v1/sweep", sweepDocJSON(900))
+	if code != http.StatusOK {
+		t.Fatalf("second sweep status %d", code)
+	}
+	points2, agg2 := decodeNDJSON(t, body2)
+	if len(points2) != len(points1) {
+		t.Fatalf("point counts differ: %d vs %d", len(points2), len(points1))
+	}
+	for i := range points2 {
+		if !bytes.Equal(points1[i].Report, points2[i].Report) {
+			t.Fatalf("point %d report bytes differ across restart", i)
+		}
+	}
+	if agg2.StoreHits != len(points2) {
+		t.Fatalf("restart aggregate %+v, want %d store hits", agg2, len(points2))
+	}
+	_, statsBody := get(t, ts2.URL+"/v1/stats")
+	var c service.Counters
+	if err := json.Unmarshal(statsBody, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.EngineRuns != 0 {
+		t.Fatalf("restarted daemon ran %d engine runs, want 0", c.EngineRuns)
+	}
+	if c.StoreHits != int64(len(points2)) {
+		t.Fatalf("store hits %d, want %d", c.StoreHits, len(points2))
 	}
 }
 
@@ -260,5 +401,28 @@ func TestBadRequests(t *testing.T) {
 	}
 	if code, _ := post(t, ts.URL+"/v1/sweep", `{"specs": []}`); code != http.StatusBadRequest {
 		t.Fatalf("empty sweep status %d", code)
+	}
+}
+
+func TestSweepServerPointBound(t *testing.T) {
+	// The test server caps sweeps at 100 points; a document declaring a
+	// bigger grid (and a permissive max_points of its own) must be
+	// rejected before any expansion work happens.
+	ts := newTestServer(t)
+	vals := make([]string, 150)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("%d", i+8)
+	}
+	doc := strings.Replace(sweepDocJSON(1000),
+		`"sweep": {"axes": [`,
+		fmt.Sprintf(`"sweep": {"max_points": 100000, "axes": [
+	    {"field": "run.rollback_vars", "values": [%s]},`, strings.Join(vals, ",")),
+		1)
+	code, body := post(t, ts.URL+"/v1/sweep", doc)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized sweep status %d: %.200s", code, body)
+	}
+	if !strings.Contains(string(body), "server bound") {
+		t.Fatalf("unexpected error body: %s", body)
 	}
 }

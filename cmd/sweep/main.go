@@ -1,4 +1,6 @@
-// Command sweep emits the evaluation data as CSV files for plotting:
+// Command sweep runs parameter sweeps over the co-emulation engine —
+// in-process on a local worker pool, or remotely against a coemud
+// daemon — and emits the evaluation data as CSV files for plotting:
 //
 //	sweep -out results/           # writes:
 //	  results/table2.csv          analytic Table 2 (paper values included)
@@ -9,18 +11,39 @@
 // With -spec file.json, the DES sweeps run the declarative spec's
 // design and base configuration instead of the built-in stream design;
 // the sweep still varies accuracy and LOB depth around that base.
+//
+// With -grid sweep.json, the command instead expands the declarative
+// sweep document (a spec plus a "sweep" grid block, see internal/spec)
+// and streams one NDJSON result line per point, in point order, plus a
+// final aggregate line — the same wire format coemud's /v1/sweep
+// serves, byte-identical line for line.
+//
+// With -remote http://host:8080, runs are not executed in this
+// process: grid mode posts the document to the daemon's /v1/sweep, and
+// the DES CSV sweeps (which then require -spec) submit their points as
+// a spec batch — sharing the daemon's worker pool, result cache and
+// persistent store with every other client.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"coemu"
 	"coemu/internal/perfmodel"
+	"coemu/internal/service"
+	"coemu/internal/spec"
 )
 
 // jobs is the DES worker-pool width (the -j flag).
@@ -36,18 +59,29 @@ type desBase struct {
 }
 
 func main() {
-	out := flag.String("out", ".", "output directory")
+	out := flag.String("out", ".", "output directory for the CSV sweeps")
 	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
 	specPath := flag.String("spec", "", "sweep a declarative JSON spec's design instead of the built-in stream design")
-	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs")
+	gridPath := flag.String("grid", "", "expand and run a declarative sweep document, streaming NDJSON results to stdout")
+	remote := flag.String("remote", "", "coemud base URL; drive the daemon's /v1/sweep instead of in-process runs")
+	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs (local mode)")
 	flag.Parse()
 	if jobs < 1 {
 		jobs = 1
 	}
+
+	if *gridPath != "" {
+		if err := runGrid(*gridPath, *remote, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
 	base := desBase{design: desDesign, cycles: *cycles}
+	var baseSpec *coemu.Spec
 	if *specPath != "" {
 		s, err := coemu.LoadSpec(*specPath)
 		if err != nil {
@@ -58,17 +92,98 @@ func main() {
 			fatal(err)
 		}
 		base = desBase{design: func() coemu.Design { return d }, cfg: cfg, cycles: s.Run.Cycles}
+		baseSpec = s
+	}
+	var runner desRunner = &localRunner{base: base}
+	if *remote != "" {
+		if baseSpec == nil {
+			fatal(fmt.Errorf("-remote CSV sweeps need -spec (the daemon runs declarative specs)"))
+		}
+		runner = &remoteRunner{base: baseSpec, url: strings.TrimRight(*remote, "/")}
 	}
 	writeTable2(filepath.Join(*out, "table2.csv"))
 	writeFigure4(filepath.Join(*out, "figure4.csv"))
-	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), base)
-	writeDESLOB(filepath.Join(*out, "des_lob.csv"), base)
+	writeDESAccuracy(filepath.Join(*out, "des_accuracy.csv"), base, runner)
+	writeDESLOB(filepath.Join(*out, "des_lob.csv"), base, runner)
+}
+
+// runGrid executes a sweep document and streams the NDJSON results —
+// locally on the worker pool, or through a coemud daemon with -remote.
+func runGrid(path, remote string, w io.Writer) error {
+	if remote != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Parse locally first so a bad document fails with a spec error
+		// rather than an HTTP one.
+		if _, err := spec.ParseSweep(data); err != nil {
+			return err
+		}
+		resp, err := httpClient().Post(strings.TrimRight(remote, "/")+"/v1/sweep",
+			"application/json", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("remote sweep: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		// The daemon already speaks the wire format; relay it verbatim.
+		_, err = io.Copy(w, resp.Body)
+		return err
+	}
+
+	ss, err := spec.LoadSweep(path)
+	if err != nil {
+		return err
+	}
+	points, err := ss.Expand()
+	if err != nil {
+		return err
+	}
+	type outcome struct {
+		res *service.Result
+		err error
+	}
+	results := parMap(len(points), func(i int) outcome {
+		rep, err := runPoint(points[i])
+		if err != nil {
+			return outcome{err: err}
+		}
+		res, err := service.NewResult(rep)
+		return outcome{res: res, err: err}
+	})
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	agg := service.NewSweepAggregator(len(points))
+	for i, o := range results {
+		pr := service.PointResult{Index: i, Name: points[i].Name, Result: o.res, Err: o.err}
+		if h, err := points[i].CanonicalHash(); err == nil {
+			pr.Hash = h
+		}
+		if err := enc.Encode(agg.Add(pr)); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(agg.Line())
+}
+
+// runPoint compiles and runs one expanded spec in-process.
+func runPoint(sp *spec.Spec) (*coemu.Report, error) {
+	d, cfg, err := sp.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return coemu.Run(d, cfg, sp.Run.Cycles)
 }
 
 // parMap computes f(0..n-1) on a pool of jobs workers and returns the
 // results in index order. Each engine run is independent and
-// single-threaded, so the sweeps scale with cores while the CSV rows
-// stay in their deterministic order.
+// single-threaded, so the sweeps scale with cores while the output
+// rows stay in their deterministic order.
 func parMap[T any](n int, f func(i int) T) []T {
 	res := make([]T, n)
 	var wg sync.WaitGroup
@@ -106,6 +221,187 @@ func create(path string) *os.File {
 	}
 	fmt.Println("wrote", path)
 	return f
+}
+
+// httpClient builds the client remote modes share: generous timeout,
+// since a sweep request stays open for the whole grid.
+func httpClient() *http.Client {
+	return &http.Client{Timeout: 30 * time.Minute}
+}
+
+// desPoint is one DES sweep point: the base run with the paper's
+// sweep parameters overridden. It deliberately carries only the fields
+// the CSV sweeps vary, so local (coemu.Config) and remote (spec.Run)
+// execution stay in lockstep.
+type desPoint struct {
+	mode         coemu.Mode
+	setAccuracy  bool
+	accuracy     float64
+	faultSeed    uint64
+	rollbackVars int
+	lobDepth     int // 0 keeps the base depth
+}
+
+// desReport is the report subset the CSV writers consume, sourced from
+// an in-process coemu.Report or a remote service.ReportView.
+type desReport struct {
+	perf           float64
+	transitions    int64
+	rollbacks      int64
+	accesses       int64
+	words          int64
+	meanTransition float64
+}
+
+// desRunner executes DES sweep points, locally or against a daemon.
+type desRunner interface {
+	runPoints(points []desPoint) ([]*desReport, error)
+}
+
+// localRunner runs points in-process on the parMap pool.
+type localRunner struct {
+	base desBase
+}
+
+func (l *localRunner) runPoints(points []desPoint) ([]*desReport, error) {
+	var firstErr error
+	var mu sync.Mutex
+	reps := parMap(len(points), func(i int) *desReport {
+		cfg := l.base.cfg
+		applyPointConfig(&cfg, points[i])
+		rep, err := coemu.Run(l.base.design(), cfg, l.base.cycles)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return nil
+		}
+		return localReport(rep)
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return reps, nil
+}
+
+// applyPointConfig overlays a sweep point on a base engine config.
+func applyPointConfig(cfg *coemu.Config, p desPoint) {
+	cfg.Mode = p.mode
+	if p.setAccuracy {
+		cfg.Accuracy, cfg.FaultSeed, cfg.RollbackVars = p.accuracy, p.faultSeed, p.rollbackVars
+	}
+	if p.lobDepth != 0 {
+		cfg.LOBDepth = p.lobDepth
+	}
+}
+
+// localReport projects an in-process report.
+func localReport(rep *coemu.Report) *desReport {
+	r := &desReport{
+		perf:        rep.Perf(),
+		transitions: rep.Stats.Transitions,
+		rollbacks:   rep.Stats.Rollbacks,
+		accesses:    rep.Channel.TotalAccesses(),
+		words:       rep.Channel.TotalWords(),
+	}
+	if rep.TransitionLengths != nil {
+		r.meanTransition = rep.TransitionLengths.Mean()
+	}
+	return r
+}
+
+// remoteRunner submits points to a coemud daemon as a /v1/sweep spec
+// batch: the daemon's pool runs them in parallel and its cache/store
+// answer repeats without recomputation.
+type remoteRunner struct {
+	base *coemu.Spec
+	url  string
+}
+
+func (r *remoteRunner) runPoints(points []desPoint) ([]*desReport, error) {
+	specs := make([]json.RawMessage, len(points))
+	for i, p := range points {
+		sp := *r.base
+		applyPointRun(&sp.Run, p)
+		b, err := json.Marshal(&sp)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = b
+	}
+	body, err := json.Marshal(map[string]any{"specs": specs})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpClient().Post(r.url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("remote sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	reps := make([]*desReport, 0, len(points))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if bytes.HasPrefix(line, []byte(`{"aggregate"`)) {
+			break
+		}
+		var pl service.SweepLine
+		if err := json.Unmarshal(line, &pl); err != nil {
+			return nil, fmt.Errorf("remote sweep: bad line: %w", err)
+		}
+		if pl.Error != "" {
+			return nil, fmt.Errorf("remote sweep point %d: %s", pl.Index, pl.Error)
+		}
+		var v service.ReportView
+		if err := json.Unmarshal(pl.Report, &v); err != nil {
+			return nil, fmt.Errorf("remote sweep point %d: %w", pl.Index, err)
+		}
+		reps = append(reps, remoteReport(&v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(reps) != len(points) {
+		return nil, fmt.Errorf("remote sweep: %d results for %d points", len(reps), len(points))
+	}
+	return reps, nil
+}
+
+// applyPointRun overlays a sweep point on a base declarative run.
+func applyPointRun(run *spec.Run, p desPoint) {
+	run.Mode = strings.ToLower(p.mode.String())
+	if p.setAccuracy {
+		run.Accuracy, run.FaultSeed, run.RollbackVars = p.accuracy, p.faultSeed, p.rollbackVars
+	}
+	if p.lobDepth != 0 {
+		run.LOBDepth = p.lobDepth
+	}
+}
+
+// remoteReport projects a daemon report view.
+func remoteReport(v *service.ReportView) *desReport {
+	r := &desReport{
+		perf:        v.Perf,
+		transitions: v.Stats.Transitions,
+		rollbacks:   v.Stats.Rollbacks,
+		accesses:    v.Channel.TotalAccesses(),
+		words:       v.Channel.TotalWords(),
+	}
+	if v.TransitionLengths != nil {
+		r.meanTransition = v.TransitionLengths.Mean
+	}
+	return r
 }
 
 // paperTable2 maps accuracy to the published (perf, ratio).
@@ -171,59 +467,51 @@ func sweepMode(base desBase) coemu.Mode {
 	return base.cfg.Mode
 }
 
-func writeDESAccuracy(path string, base desBase) {
+func writeDESAccuracy(path string, base desBase, runner desRunner) {
 	f := create(path)
 	defer f.Close()
-	convCfg := base.cfg
-	convCfg.Mode = coemu.Conservative
-	conv, err := coemu.Run(base.design(), convCfg, base.cycles)
+	conv, err := runner.runPoints([]desPoint{{mode: coemu.Conservative}})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "p,perf,ratio,transitions,rollbacks,accesses,words")
 	ps := []float64{1, 0.99, 0.96, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}
-	reps := parMap(len(ps), func(i int) *coemu.Report {
-		cfg := base.cfg
-		cfg.Mode = sweepMode(base)
-		cfg.Accuracy, cfg.FaultSeed, cfg.RollbackVars = ps[i], 12345, 1000
-		rep, err := coemu.Run(base.design(), cfg, base.cycles)
-		if err != nil {
-			fatal(err)
-		}
-		return rep
-	})
+	points := make([]desPoint, len(ps))
+	for i, p := range ps {
+		points[i] = desPoint{mode: sweepMode(base), setAccuracy: true,
+			accuracy: p, faultSeed: 12345, rollbackVars: 1000}
+	}
+	reps, err := runner.runPoints(points)
+	if err != nil {
+		fatal(err)
+	}
 	for i, rep := range reps {
 		fmt.Fprintf(f, "%.2f,%.1f,%.3f,%d,%d,%d,%d\n",
-			ps[i], rep.Perf(), rep.Perf()/conv.Perf(),
-			rep.Stats.Transitions, rep.Stats.Rollbacks,
-			rep.Channel.TotalAccesses(), rep.Channel.TotalWords())
+			ps[i], rep.perf, rep.perf/conv[0].perf,
+			rep.transitions, rep.rollbacks, rep.accesses, rep.words)
 	}
 }
 
-func writeDESLOB(path string, base desBase) {
+func writeDESLOB(path string, base desBase, runner desRunner) {
 	f := create(path)
 	defer f.Close()
-	convCfg := base.cfg
-	convCfg.Mode = coemu.Conservative
-	conv, err := coemu.Run(base.design(), convCfg, base.cycles)
+	conv, err := runner.runPoints([]desPoint{{mode: coemu.Conservative}})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(f, "lob_words,perf,ratio,mean_transition,accesses")
 	lobs := []int{8, 16, 32, 64, 128, 256, 512, 1024}
-	reps := parMap(len(lobs), func(i int) *coemu.Report {
-		cfg := base.cfg
-		cfg.Mode = sweepMode(base)
-		cfg.LOBDepth = lobs[i]
-		rep, err := coemu.Run(base.design(), cfg, base.cycles)
-		if err != nil {
-			fatal(err)
-		}
-		return rep
-	})
+	points := make([]desPoint, len(lobs))
+	for i, lob := range lobs {
+		points[i] = desPoint{mode: sweepMode(base), lobDepth: lob}
+	}
+	reps, err := runner.runPoints(points)
+	if err != nil {
+		fatal(err)
+	}
 	for i, rep := range reps {
 		fmt.Fprintf(f, "%d,%.1f,%.3f,%.2f,%d\n",
-			lobs[i], rep.Perf(), rep.Perf()/conv.Perf(),
-			rep.TransitionLengths.Mean(), rep.Channel.TotalAccesses())
+			lobs[i], rep.perf, rep.perf/conv[0].perf,
+			rep.meanTransition, rep.accesses)
 	}
 }

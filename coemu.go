@@ -251,6 +251,18 @@ func ParseSpec(data []byte) (*Spec, error) { return spec.Parse(data) }
 // LoadSpec reads and parses a JSON run spec file.
 func LoadSpec(path string) (*Spec, error) { return spec.Load(path) }
 
+// SweepSpec is a run spec plus an optional parameter grid ("sweep"
+// block). SweepSpec.Expand materializes the grid as concrete Specs,
+// each with its own canonical hash — the unit cmd/sweep -grid and the
+// coemud /v1/sweep endpoint fan out over the worker pool.
+type SweepSpec = spec.SweepSpec
+
+// ParseSweepSpec decodes and validates a JSON sweep document.
+func ParseSweepSpec(data []byte) (*SweepSpec, error) { return spec.ParseSweep(data) }
+
+// LoadSweepSpec reads and parses a JSON sweep document file.
+func LoadSweepSpec(path string) (*SweepSpec, error) { return spec.LoadSweep(path) }
+
 // Analytic model (the paper's §6 evaluation).
 
 type (

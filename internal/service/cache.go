@@ -3,14 +3,12 @@ package service
 import (
 	"container/list"
 	"sync"
-
-	"coemu/internal/core"
 )
 
-// resultCache is an LRU cache of completed run reports keyed by the
-// canonical spec hash. A hit returns the exact *core.Report pointer the
-// original run produced, so duplicate submissions observe bit-identical
-// results (reports are treated as immutable once published).
+// resultCache is an LRU cache of completed run results keyed by the
+// canonical spec hash. A hit returns the exact *Result pointer that was
+// stored, so duplicate submissions observe bit-identical results
+// (results are treated as immutable once published).
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
@@ -22,15 +20,15 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	rep *core.Report
+	res *Result
 }
 
 func newResultCache(max int) *resultCache {
 	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// Get returns the cached report for key, marking it most recently used.
-func (c *resultCache) Get(key string) (*core.Report, bool) {
+// Get returns the cached result for key, marking it most recently used.
+func (c *resultCache) Get(key string) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -40,19 +38,19 @@ func (c *resultCache) Get(key string) (*core.Report, bool) {
 	}
 	c.hits++
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).rep, true
+	return el.Value.(*cacheEntry).res, true
 }
 
 // Put stores a report under key, evicting the least recently used entry
 // when the cache is full. A zero or negative capacity disables caching.
-func (c *resultCache) Put(key string, rep *core.Report) {
+func (c *resultCache) Put(key string, res *Result) {
 	if c.max <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).rep = rep
+		el.Value.(*cacheEntry).res = res
 		c.order.MoveToFront(el)
 		return
 	}
@@ -61,7 +59,7 @@ func (c *resultCache) Put(key string, rep *core.Report) {
 		c.order.Remove(last)
 		delete(c.byKey, last.Value.(*cacheEntry).key)
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 }
 
 // Stats returns the hit/miss counters and current size.

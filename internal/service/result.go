@@ -1,0 +1,49 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"coemu/internal/core"
+)
+
+// Result is a completed run's outcome. JSON always holds the canonical
+// compact encoding of the run's ReportView — the bit-identity unit the
+// cache, the on-disk store and the HTTP layer all agree on. Report is
+// the in-memory report the view was projected from; it is nil when the
+// result was served from the persistent store by a process that never
+// ran the engine for it.
+type Result struct {
+	Report *core.Report
+	JSON   []byte
+}
+
+// NewResult projects a freshly produced report into a Result.
+func NewResult(rep *core.Report) (*Result, error) {
+	data, err := EncodeReport(rep)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: rep, JSON: data}, nil
+}
+
+// View decodes the canonical JSON back into a ReportView. Decode →
+// re-encode is byte-stable (fixed struct fields, sorted map keys,
+// round-tripping float formatting), so a view obtained here serializes
+// exactly like the original run's response.
+func (r *Result) View() (*ReportView, error) {
+	var v ReportView
+	if err := json.Unmarshal(r.JSON, &v); err != nil {
+		return nil, fmt.Errorf("service: decode stored report: %w", err)
+	}
+	return &v, nil
+}
+
+// EncodeReport marshals a report's canonical view bytes.
+func EncodeReport(rep *core.Report) ([]byte, error) {
+	data, err := json.Marshal(NewReportView(rep))
+	if err != nil {
+		return nil, fmt.Errorf("service: encode report: %w", err)
+	}
+	return data, nil
+}

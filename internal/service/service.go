@@ -5,6 +5,15 @@
 // carries a context so client aborts and shutdown cancel in-flight
 // engine runs at domain-cycle granularity (core.Engine.RunContext).
 //
+// Below the in-memory cache sits an optional persistent result store
+// (internal/store): completed results are written through to disk, and
+// a submission that misses the memory cache is answered from the store
+// — so a restarted daemon, or a sibling process sharing the directory,
+// reuses every previously computed point with zero engine runs.
+// Parameter sweeps (spec.SweepSpec) fan out over the same pool via
+// StartSweep, one job per expanded point, deduplicated like any other
+// submission.
+//
 // Concurrency model: engine runs are single-threaded and independent,
 // so the pool runs up to Workers of them in parallel (the cmd/sweep -j
 // pattern); all job bookkeeping is guarded by one service mutex.
@@ -21,6 +30,7 @@ import (
 
 	"coemu/internal/core"
 	"coemu/internal/spec"
+	"coemu/internal/store"
 )
 
 // Status is a job's lifecycle state.
@@ -58,6 +68,12 @@ type Options struct {
 	// RetainJobs bounds how many completed jobs stay queryable by ID
 	// before the oldest are forgotten. Default 1024.
 	RetainJobs int
+	// Store, when non-nil, is the persistent result store used as a
+	// write-through layer under the in-memory cache.
+	Store *store.Store
+	// Logf, when non-nil, receives operational warnings (e.g. a failed
+	// store write-through). log.Printf fits.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -88,12 +104,13 @@ type Job struct {
 	hash string
 	spec *spec.Spec
 
-	status   Status
-	report   *core.Report
-	err      error
-	cached   bool // completed straight from the result cache
-	finished bool
-	done     chan struct{}
+	status    Status
+	result    *Result
+	err       error
+	cached    bool // completed without an engine run (cache or store)
+	fromStore bool // the cached result came from the persistent store
+	finished  bool
+	done      chan struct{}
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -123,6 +140,7 @@ type Info struct {
 	Hash      string     `json:"hash"`
 	Status    Status     `json:"status"`
 	Cached    bool       `json:"cached"`
+	FromStore bool       `json:"from_store,omitempty"`
 	Error     string     `json:"error,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
@@ -137,13 +155,20 @@ type Service struct {
 	wg    sync.WaitGroup
 	queue chan *Job
 	cache *resultCache
+	disk  *store.Store // optional persistent layer (nil = disabled)
 
 	mu       sync.Mutex
 	closed   bool
 	seq      int64
+	sweepSeq int64
 	jobs     map[string]*Job
 	inflight map[string]*Job // canonical hash -> queued/running job
 	retain   []string        // job IDs in submission order, for pruning
+
+	// Cumulative counters surfaced by Counters.
+	engineRuns  int64
+	sweeps      int64
+	sweepPoints int64
 }
 
 // New starts a service with the given options.
@@ -156,6 +181,7 @@ func New(opts Options) *Service {
 		stop:     stop,
 		queue:    make(chan *Job, opts.QueueDepth),
 		cache:    newResultCache(opts.CacheSize),
+		disk:     opts.Store,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
@@ -203,36 +229,35 @@ func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, ErrClosed
+	if job, err, handled := s.submitFastLocked(sp, hash, ephemeral); handled {
+		s.mu.Unlock()
+		return job, err
 	}
+	probeDisk := s.disk != nil
+	s.mu.Unlock()
 
-	if rep, ok := s.cache.Get(hash); ok {
-		job := s.newJobLocked(sp, hash)
-		job.status = StatusDone
-		job.report = rep
-		job.cached = true
-		job.finished = true
-		job.started = job.submitted
-		job.ended = job.submitted
-		job.cancel() // release the context immediately; nothing runs
-		close(job.done)
-		return job, nil
-	}
-
-	if job, ok := s.inflight[hash]; ok {
-		if ephemeral {
-			// Hold a reference for this submitter until its Wait runs,
-			// so an abort by the original waiter in the interim cannot
-			// cancel a job we just handed out.
-			job.pendingRefs++
-		} else {
-			// A fire-and-forget submission pins the job even if the
-			// original (ephemeral) submitter aborts.
-			job.ephemeral = false
+	// Probe the persistent store outside the service lock: a store read
+	// is file I/O and must not stall job bookkeeping. The memory layers
+	// are re-checked under the lock afterwards, so whatever landed in
+	// the meantime (a finished duplicate, an in-flight submission)
+	// still wins.
+	var stored *Result
+	if probeDisk {
+		if data, ok := s.disk.Get(hash); ok {
+			stored = &Result{JSON: data}
 		}
-		return job, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job, err, handled := s.submitFastLocked(sp, hash, ephemeral); handled {
+		return job, err
+	}
+	if stored != nil {
+		// Promote the persisted result into the memory cache so the
+		// next duplicate skips the disk.
+		s.cache.Put(hash, stored)
+		return s.newCachedJobLocked(sp, hash, stored, true), nil
 	}
 
 	job := s.newJobLocked(sp, hash)
@@ -250,6 +275,48 @@ func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
 	}
 	s.inflight[hash] = job
 	return job, nil
+}
+
+// submitFastLocked resolves a submission against the in-memory layers
+// — shutdown state, the result cache, and in-flight duplicates — and
+// reports whether it was handled. Caller holds s.mu.
+func (s *Service) submitFastLocked(sp *spec.Spec, hash string, ephemeral bool) (*Job, error, bool) {
+	if s.closed {
+		return nil, ErrClosed, true
+	}
+	if res, ok := s.cache.Get(hash); ok {
+		return s.newCachedJobLocked(sp, hash, res, false), nil, true
+	}
+	if job, ok := s.inflight[hash]; ok {
+		if ephemeral {
+			// Hold a reference for this submitter until its Wait runs,
+			// so an abort by the original waiter in the interim cannot
+			// cancel a job we just handed out.
+			job.pendingRefs++
+		} else {
+			// A fire-and-forget submission pins the job even if the
+			// original (ephemeral) submitter aborts.
+			job.ephemeral = false
+		}
+		return job, nil, true
+	}
+	return nil, nil, false
+}
+
+// newCachedJobLocked registers a job born terminal: its result came
+// from the memory cache or the persistent store. Caller holds s.mu.
+func (s *Service) newCachedJobLocked(sp *spec.Spec, hash string, res *Result, fromStore bool) *Job {
+	job := s.newJobLocked(sp, hash)
+	job.status = StatusDone
+	job.result = res
+	job.cached = true
+	job.fromStore = fromStore
+	job.finished = true
+	job.started = job.submitted
+	job.ended = job.submitted
+	job.cancel() // release the context immediately; nothing runs
+	close(job.done)
+	return job
 }
 
 // newJobLocked allocates and registers a job. Caller holds s.mu.
@@ -344,6 +411,58 @@ func (s *Service) CacheStats() (hits, misses int64, size int) {
 	return s.cache.Stats()
 }
 
+// Counters is the service-wide counter snapshot served by /v1/stats:
+// memory-cache and persistent-store traffic, real engine executions,
+// and sweep volume.
+type Counters struct {
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+
+	// EngineRuns counts jobs that actually executed the engine (every
+	// terminal job is either an engine run, a cache/store hit, or was
+	// canceled while still queued).
+	EngineRuns int64 `json:"engine_runs"`
+
+	// Sweeps counts StartSweep calls; SweepPoints the points they
+	// expanded to.
+	Sweeps      int64 `json:"sweeps"`
+	SweepPoints int64 `json:"sweep_points"`
+
+	// Store* mirror the persistent store's own counters; all zero when
+	// no store is configured.
+	StoreHits      int64 `json:"store_hits"`
+	StoreMisses    int64 `json:"store_misses"`
+	StorePuts      int64 `json:"store_puts"`
+	StoreEvictions int64 `json:"store_evictions"`
+	StoreEntries   int   `json:"store_entries"`
+
+	Jobs int `json:"jobs"`
+}
+
+// Counters snapshots the service-wide counters.
+func (s *Service) Counters() Counters {
+	hits, misses, size := s.cache.Stats()
+	s.mu.Lock()
+	c := Counters{
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheSize:   size,
+		EngineRuns:  s.engineRuns,
+		Sweeps:      s.sweeps,
+		SweepPoints: s.sweepPoints,
+		Jobs:        len(s.jobs),
+	}
+	s.mu.Unlock()
+	if s.disk != nil {
+		st := s.disk.Stats()
+		c.StoreHits, c.StoreMisses = st.Hits, st.Misses
+		c.StorePuts, c.StoreEvictions = st.Puts, st.Evictions
+		c.StoreEntries = st.Entries
+	}
+	return c
+}
+
 // runJob executes one job on a worker.
 func (s *Service) runJob(job *Job) {
 	s.mu.Lock()
@@ -358,16 +477,30 @@ func (s *Service) runJob(job *Job) {
 	}
 	job.status = StatusRunning
 	job.started = time.Now()
+	s.engineRuns++
 	s.mu.Unlock()
 
 	rep, err := runSpec(job.ctx, job.spec)
+
+	var res *Result
+	if err == nil {
+		res, err = NewResult(rep)
+	}
+	if err == nil && s.disk != nil {
+		// Write-through before the result becomes observable: once a
+		// waiter sees the job done, a restarted daemon can serve it. A
+		// store failure only costs persistence, never the run.
+		if perr := s.disk.Put(job.hash, res.JSON); perr != nil {
+			s.logf("store write-through for %s: %v", job.hash, perr)
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
 	case err == nil:
-		s.cache.Put(job.hash, rep)
-		s.finishLocked(job, StatusDone, rep, nil)
+		s.cache.Put(job.hash, res)
+		s.finishLocked(job, StatusDone, res, nil)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.finishLocked(job, StatusCanceled, nil, err)
 	default:
@@ -375,15 +508,22 @@ func (s *Service) runJob(job *Job) {
 	}
 }
 
+// logf forwards to the configured warning logger, if any.
+func (s *Service) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
 // finishLocked publishes a job's terminal state exactly once. Caller
 // holds s.mu.
-func (s *Service) finishLocked(job *Job, st Status, rep *core.Report, err error) {
+func (s *Service) finishLocked(job *Job, st Status, res *Result, err error) {
 	if job.finished {
 		return
 	}
 	job.finished = true
 	job.status = st
-	job.report = rep
+	job.result = res
 	job.err = err
 	job.ended = time.Now()
 	if s.inflight[job.hash] == job {
@@ -431,6 +571,7 @@ func (j *Job) infoLocked() Info {
 		Hash:      j.hash,
 		Status:    j.status,
 		Cached:    j.cached,
+		FromStore: j.fromStore,
 		Submitted: j.submitted,
 	}
 	if j.err != nil {
@@ -449,19 +590,19 @@ func (j *Job) infoLocked() Info {
 
 // Result returns the job's terminal outcome; call only after Done is
 // closed (Wait does this for you).
-func (j *Job) Result() (*core.Report, error) {
+func (j *Job) Result() (*Result, error) {
 	j.svc.mu.Lock()
 	defer j.svc.mu.Unlock()
 	if !j.finished {
 		return nil, fmt.Errorf("service: job %s still %s", j.id, j.status)
 	}
-	return j.report, j.err
+	return j.result, j.err
 }
 
 // Wait blocks until the job completes or ctx is done. If the waiting
 // client abandons an ephemeral job and no other waiter remains, the job
 // is canceled — the engine run stops within one domain cycle.
-func (j *Job) Wait(ctx context.Context) (*core.Report, error) {
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
 	j.svc.mu.Lock()
 	j.waiters++
 	if j.pendingRefs > 0 {

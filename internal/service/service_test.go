@@ -46,12 +46,12 @@ func TestSubmitAndWait(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := job.Wait(context.Background())
+	res, err := job.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Cycles != 2000 {
-		t.Fatalf("ran %d cycles, want 2000", rep.Cycles)
+	if res.Report == nil || res.Report.Cycles != 2000 {
+		t.Fatalf("result %+v, want a 2000-cycle in-memory report", res)
 	}
 	info := job.Info()
 	if info.Status != StatusDone || info.Cached {
@@ -65,7 +65,7 @@ func TestDuplicateServedFromCacheBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep1, err := first.Wait(context.Background())
+	res1, err := first.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,26 +74,25 @@ func TestDuplicateServedFromCacheBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := second.Wait(context.Background())
+	res2, err := second.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !second.Info().Cached {
 		t.Fatal("duplicate spec not served from cache")
 	}
-	if rep1 != rep2 {
-		t.Fatal("cache hit returned a different report object")
+	if res1 != res2 {
+		t.Fatal("cache hit returned a different result object")
 	}
-	b1, err := json.Marshal(NewReportView(rep1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b2, err := json.Marshal(NewReportView(rep2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(b1) != string(b2) {
+	if string(res1.JSON) != string(res2.JSON) {
 		t.Fatal("cache hit serialized differently from the original run")
+	}
+	b1, err := json.Marshal(NewReportView(res1.Report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(res1.JSON) {
+		t.Fatal("canonical result bytes disagree with a fresh projection")
 	}
 	if hits, _, _ := svc.CacheStats(); hits != 1 {
 		t.Fatalf("cache hits = %d, want 1", hits)
@@ -119,13 +118,13 @@ func TestConcurrentDistinctAndDuplicateSubmissions(t *testing.T) {
 					errs <- err
 					return
 				}
-				rep, err := job.Wait(context.Background())
+				res, err := job.Wait(context.Background())
 				if err != nil {
 					errs <- err
 					return
 				}
-				if rep.Cycles != cycles {
-					errs <- fmt.Errorf("got %d cycles, want %d", rep.Cycles, cycles)
+				if res.Report.Cycles != cycles {
+					errs <- fmt.Errorf("got %d cycles, want %d", res.Report.Cycles, cycles)
 				}
 			}()
 		}
@@ -204,12 +203,12 @@ func TestSecondWaiterPinsEphemeralJob(t *testing.T) {
 		t.Fatalf("aborted wait returned %v", err)
 	}
 	// The job survives the abort because of the pinned submission.
-	rep, err := job.Wait(context.Background())
+	res, err := job.Wait(context.Background())
 	if err != nil {
 		t.Fatalf("pinned job failed: %v", err)
 	}
-	if rep.Cycles != 200000 {
-		t.Fatalf("ran %d cycles", rep.Cycles)
+	if res.Report.Cycles != 200000 {
+		t.Fatalf("ran %d cycles", res.Report.Cycles)
 	}
 }
 
@@ -238,12 +237,12 @@ func TestEphemeralDuplicateSurvivesFirstWaiterAbort(t *testing.T) {
 	if info := j1.Info(); info.Status == StatusCanceled {
 		t.Fatal("job canceled while a second submitter still held it")
 	}
-	rep, err := j2.Wait(context.Background())
+	res, err := j2.Wait(context.Background())
 	if err != nil {
 		t.Fatalf("second submitter's run failed: %v", err)
 	}
-	if rep.Cycles != 300000 {
-		t.Fatalf("ran %d cycles", rep.Cycles)
+	if res.Report.Cycles != 300000 {
+		t.Fatalf("ran %d cycles", res.Report.Cycles)
 	}
 }
 

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"encoding/json"
+)
+
+// Sweep wire format: the NDJSON stream served by coemud's /v1/sweep
+// and produced locally by cmd/sweep -grid. One SweepLine per point, in
+// point order, followed by one SweepAggregateLine. The per-point
+// Report field carries the run's canonical ReportView bytes verbatim,
+// so a point's line is byte-identical whether the result was computed
+// in-process, served from the daemon's cache, or read back from the
+// persistent store.
+
+// SweepLine is one per-point NDJSON line.
+type SweepLine struct {
+	Index  int             `json:"index"`
+	Name   string          `json:"name,omitempty"`
+	Hash   string          `json:"hash,omitempty"`
+	Report json.RawMessage `json:"report,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// SweepTableRow is one row of the final aggregate table: the point's
+// identity plus its headline metrics, or its error.
+type SweepTableRow struct {
+	Index       int     `json:"index"`
+	Name        string  `json:"name,omitempty"`
+	Hash        string  `json:"hash,omitempty"`
+	Perf        float64 `json:"perf_cycles_per_sec,omitempty"`
+	Committed   int64   `json:"committed,omitempty"`
+	Transitions int64   `json:"transitions,omitempty"`
+	Rollbacks   int64   `json:"rollbacks,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// SweepAggregate summarizes a finished sweep.
+type SweepAggregate struct {
+	Points    int             `json:"points"`
+	OK        int             `json:"ok"`
+	Errors    int             `json:"errors"`
+	CacheHits int             `json:"cache_hits"`
+	StoreHits int             `json:"store_hits"`
+	Table     []SweepTableRow `json:"table"`
+}
+
+// SweepAggregateLine is the stream's final NDJSON line, keyed
+// "aggregate" so consumers can tell it from point lines.
+type SweepAggregateLine struct {
+	Aggregate SweepAggregate `json:"aggregate"`
+}
+
+// SweepAggregator folds PointResults into the wire format: Add returns
+// the point's NDJSON line and accumulates the aggregate; Line returns
+// the final aggregate line.
+type SweepAggregator struct {
+	agg SweepAggregate
+}
+
+// NewSweepAggregator starts an aggregation over total points.
+func NewSweepAggregator(total int) *SweepAggregator {
+	return &SweepAggregator{agg: SweepAggregate{Points: total, Table: make([]SweepTableRow, 0, total)}}
+}
+
+// Add folds one point result in and returns its per-point line.
+func (a *SweepAggregator) Add(pr PointResult) SweepLine {
+	line := SweepLine{Index: pr.Index, Name: pr.Name, Hash: pr.Hash}
+	row := SweepTableRow{Index: pr.Index, Name: pr.Name, Hash: pr.Hash}
+	switch {
+	case pr.Err != nil:
+		line.Error = pr.Err.Error()
+		row.Error = pr.Err.Error()
+		a.agg.Errors++
+	default:
+		line.Report = json.RawMessage(pr.Result.JSON)
+		a.agg.OK++
+		if v, err := pr.Result.View(); err == nil {
+			row.Perf = v.Perf
+			row.Committed = v.Stats.Committed
+			row.Transitions = v.Stats.Transitions
+			row.Rollbacks = v.Stats.Rollbacks
+		}
+		if pr.FromStore {
+			a.agg.StoreHits++
+		} else if pr.Cached {
+			a.agg.CacheHits++
+		}
+	}
+	a.agg.Table = append(a.agg.Table, row)
+	return line
+}
+
+// Line returns the final aggregate line.
+func (a *SweepAggregator) Line() SweepAggregateLine {
+	return SweepAggregateLine{Aggregate: a.agg}
+}

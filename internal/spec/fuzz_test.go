@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSweepSpec pins the determinism properties the whole caching and
+// store stack rests on, for every parseable document the fuzzer finds:
+//
+//   - CanonicalHash is stable across repeated calls;
+//   - the hash is insensitive to formatting (re-indented input) and to
+//     field order / stray text form (re-parse of the struct's own
+//     marshaling hashes identically);
+//   - normalization is idempotent and hash-preserving;
+//   - sweep expansion is deterministic: two Expands agree point for
+//     point on names and hashes, and every point validates and hashes.
+func FuzzSweepSpec(f *testing.F) {
+	// Seed with every example spec shipped in the repository...
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "spec.json")); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	// ...a sweep document... (kept in sync with the grammar tests)
+	f.Add([]byte(`{
+	  "name": "seed",
+	  "design": {
+	    "masters": [{"name": "dma", "domain": "acc",
+	      "generator": {"kind": "stream", "window": {"lo": 0, "hi": "0x40000"},
+	                    "write": true, "burst": "INCR8"}}],
+	    "slaves": [{"name": "mem", "domain": "sim", "kind": "sram",
+	      "region": {"lo": 0, "hi": "0x80000"}}]
+	  },
+	  "run": {"mode": "als", "cycles": 2000},
+	  "sweep": {"axes": [
+	    {"field": "run.accuracy", "values": [1, 0.9]},
+	    {"field": "design.masters[0].generator.gap", "values": [0, 8]}
+	  ]}
+	}`))
+	// ...and degenerate inputs.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"design":{"masters":[]},"run":{"mode":"als","cycles":1}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ss, err := ParseSweep(data)
+		if err != nil {
+			return // invalid documents may be rejected freely
+		}
+
+		h1, err := ss.Spec.CanonicalHash()
+		if err != nil {
+			t.Fatalf("parsed spec does not hash: %v", err)
+		}
+		if h2, _ := ss.Spec.CanonicalHash(); h2 != h1 {
+			t.Fatalf("hash unstable across calls: %s vs %s", h1, h2)
+		}
+
+		// Formatting insensitivity: re-indent the raw input.
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, data, " ", "\t"); err == nil {
+			ss2, err := ParseSweep(indented.Bytes())
+			if err != nil {
+				t.Fatalf("re-indented document rejected: %v", err)
+			}
+			if h2, _ := ss2.Spec.CanonicalHash(); h2 != h1 {
+				t.Fatalf("hash depends on formatting: %s vs %s", h1, h2)
+			}
+		}
+
+		// Text-form insensitivity: the struct's own marshaling (default
+		// field order, numeric addresses, filled pointers) must re-parse
+		// to the same identity.
+		enc, err := json.Marshal(ss)
+		if err != nil {
+			t.Fatalf("marshal of parsed document: %v", err)
+		}
+		ss3, err := ParseSweep(enc)
+		if err != nil {
+			t.Fatalf("round-tripped document rejected: %v\n%s", err, enc)
+		}
+		if h3, _ := ss3.Spec.CanonicalHash(); h3 != h1 {
+			t.Fatalf("hash depends on text form: %s vs %s", h1, h3)
+		}
+
+		// Normalization idempotence.
+		n, err := ss.Spec.Normalized()
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		n2, err := n.Normalized()
+		if err != nil {
+			t.Fatalf("re-normalize: %v", err)
+		}
+		b1, _ := json.Marshal(n)
+		b2, _ := json.Marshal(n2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("normalization not idempotent:\n%s\n%s", b1, b2)
+		}
+		if hn, _ := n.CanonicalHash(); hn != h1 {
+			t.Fatalf("normalization changed the hash: %s vs %s", hn, h1)
+		}
+
+		// Sweep expansion determinism. Cap the grid so a fuzzer-grown
+		// axis list cannot make the test slow.
+		if ss.Points() > 64 {
+			return
+		}
+		a, errA := ss.Expand()
+		b, errB := ss.Expand()
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("expansion errors disagree: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return // per-point invalidity is allowed, as long as it is stable
+		}
+		if len(a) != len(b) {
+			t.Fatalf("expansion lengths disagree: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if err := a[i].Validate(); err != nil {
+				t.Fatalf("expanded point %d invalid: %v", i, err)
+			}
+			ha, err := a[i].CanonicalHash()
+			if err != nil {
+				t.Fatalf("expanded point %d does not hash: %v", i, err)
+			}
+			hb, _ := b[i].CanonicalHash()
+			if ha != hb || a[i].Name != b[i].Name {
+				t.Fatalf("expansion not deterministic at point %d", i)
+			}
+		}
+	})
+}

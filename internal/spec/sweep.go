@@ -1,0 +1,336 @@
+// Sweep grammar: a declarative parameter grid over a base spec.
+//
+// A sweep document is a normal run spec plus a "sweep" block naming
+// axes — JSON paths into the spec ("run.accuracy",
+// "design.masters[0].generator.gap") each with a value list. Expansion
+// is the row-major cartesian product of the axes (the last axis varies
+// fastest), and every expanded point is a complete, independently
+// validated Spec with its own canonical hash — the unit the job
+// service deduplicates, caches and persists on.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// MaxSweepPoints is the default expansion bound: a sweep whose axes
+// multiply out beyond it is rejected at validation time (raise it per
+// document with sweep.max_points).
+const MaxSweepPoints = 1024
+
+// Axis is one swept parameter: a JSON path into the spec plus the
+// values the grid takes along that axis.
+type Axis struct {
+	// Field is a dot-separated JSON path into the spec document, with
+	// [i] indexing for arrays: "run.accuracy", "run.lob_depth",
+	// "design.masters[0].generator.gap", "design.slaves[1].wait_first".
+	Field string `json:"field"`
+	// Values are the JSON values the field takes, in sweep order.
+	Values []json.RawMessage `json:"values"`
+}
+
+// Sweep is the grid block of a sweep document.
+type Sweep struct {
+	// Axes are expanded as a cartesian product in listed order; the
+	// last axis varies fastest.
+	Axes []Axis `json:"axes"`
+	// MaxPoints overrides the MaxSweepPoints expansion bound (0 keeps
+	// the default).
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// SweepSpec is a complete sweep document: a base run spec plus an
+// optional parameter grid. Without a sweep block it expands to exactly
+// its base spec, so every plain spec is also a valid sweep document.
+type SweepSpec struct {
+	Spec
+	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// ParseSweep decodes and validates a JSON sweep document. Unknown
+// fields are errors, exactly as in Parse.
+func ParseSweep(data []byte) (*SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var ss SweepSpec
+	if err := dec.Decode(&ss); err != nil {
+		return nil, fmt.Errorf("spec: parse sweep: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("spec: parse sweep: trailing data after sweep object")
+	}
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	return &ss, nil
+}
+
+// LoadSweep reads and parses a sweep document file.
+func LoadSweep(path string) (*SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	ss, err := ParseSweep(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return ss, nil
+}
+
+// Validate checks the base spec and the grid: every axis has a
+// parseable field path and at least one value, no two axes name the
+// same field, and the product of the axis lengths stays within the
+// point bound. Per-point validity (an axis value that breaks the spec)
+// is reported by Expand, which validates every expanded point.
+func (ss *SweepSpec) Validate() error {
+	if err := ss.Spec.Validate(); err != nil {
+		return err
+	}
+	if ss.Sweep == nil {
+		return nil
+	}
+	if len(ss.Sweep.Axes) == 0 {
+		return fmt.Errorf("spec: sweep block has no axes")
+	}
+	if ss.Sweep.MaxPoints < 0 {
+		return fmt.Errorf("spec: sweep: negative max_points")
+	}
+	seen := make(map[string]bool, len(ss.Sweep.Axes))
+	points := 1
+	bound := ss.Sweep.MaxPoints
+	if bound == 0 {
+		bound = MaxSweepPoints
+	}
+	for i, ax := range ss.Sweep.Axes {
+		segs, err := parseFieldPath(ax.Field)
+		if err != nil {
+			return fmt.Errorf("spec: sweep axis %d: %w", i, err)
+		}
+		if seen[ax.Field] {
+			return fmt.Errorf("spec: sweep axis %d: duplicate field %q", i, ax.Field)
+		}
+		seen[ax.Field] = true
+		if len(segs) == 0 || segs[0].name == "sweep" || segs[0].name == "name" {
+			return fmt.Errorf("spec: sweep axis %d: field %q is not sweepable", i, ax.Field)
+		}
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("spec: sweep axis %d (%s): no values", i, ax.Field)
+		}
+		for j, v := range ax.Values {
+			if !json.Valid(v) {
+				return fmt.Errorf("spec: sweep axis %d (%s): value %d is not valid JSON", i, ax.Field, j)
+			}
+		}
+		if points > bound/len(ax.Values) {
+			return fmt.Errorf("spec: sweep expands beyond %d points", bound)
+		}
+		points *= len(ax.Values)
+	}
+	return nil
+}
+
+// Points returns how many concrete specs the document expands to.
+func (ss *SweepSpec) Points() int {
+	n := 1
+	if ss.Sweep != nil {
+		for _, ax := range ss.Sweep.Axes {
+			n *= len(ax.Values)
+		}
+	}
+	return n
+}
+
+// Expand materializes the grid: one fully validated Spec per point, in
+// deterministic row-major order (the last axis varies fastest). Each
+// point's Name is the base name plus a "[field=value,...]" suffix, and
+// each point hashes independently via CanonicalHash. A value that makes
+// a point invalid fails the whole expansion with the offending point
+// named.
+func (ss *SweepSpec) Expand() ([]*Spec, error) {
+	if err := ss.Validate(); err != nil {
+		return nil, err
+	}
+	if ss.Sweep == nil {
+		base := ss.Spec
+		return []*Spec{&base}, nil
+	}
+
+	// Work on the generic JSON form of the base spec so axis paths can
+	// address any field uniformly; each point re-enters the strict
+	// parser, which catches axis typos (unknown fields) and value-type
+	// mismatches.
+	baseJSON, err := json.Marshal(&ss.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("spec: sweep: encode base: %w", err)
+	}
+
+	axes := ss.Sweep.Axes
+	paths := make([][]pathSeg, len(axes))
+	for i, ax := range axes {
+		paths[i], _ = parseFieldPath(ax.Field) // validated above
+	}
+
+	total := ss.Points()
+	points := make([]*Spec, 0, total)
+	idx := make([]int, len(axes))
+	for p := 0; p < total; p++ {
+		var doc any
+		if err := json.Unmarshal(baseJSON, &doc); err != nil {
+			return nil, fmt.Errorf("spec: sweep: decode base: %w", err)
+		}
+		var label strings.Builder
+		for a, ax := range axes {
+			var val any
+			if err := json.Unmarshal(ax.Values[idx[a]], &val); err != nil {
+				return nil, fmt.Errorf("spec: sweep axis %s value %d: %w", ax.Field, idx[a], err)
+			}
+			if err := setPath(doc, paths[a], val); err != nil {
+				return nil, fmt.Errorf("spec: sweep axis %s: %w", ax.Field, err)
+			}
+			if a > 0 {
+				label.WriteByte(',')
+			}
+			fmt.Fprintf(&label, "%s=%s", ax.Field, compactJSON(ax.Values[idx[a]]))
+		}
+		name := fmt.Sprintf("%s[%s]", ss.Name, label.String())
+		if m, ok := doc.(map[string]any); ok {
+			m["name"] = name
+		}
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("spec: sweep point %s: encode: %w", name, err)
+		}
+		sp, err := Parse(enc)
+		if err != nil {
+			return nil, fmt.Errorf("spec: sweep point %s: %w", name, err)
+		}
+		points = append(points, sp)
+
+		// Odometer increment: last axis fastest.
+		for a := len(axes) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(axes[a].Values) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return points, nil
+}
+
+// compactJSON renders a raw value in its compact form for point labels.
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return strings.TrimSpace(string(raw))
+	}
+	return buf.String()
+}
+
+// pathSeg is one step of a field path: a key, optionally followed by
+// one or more array indices ("masters[0]").
+type pathSeg struct {
+	name    string
+	indices []int
+}
+
+// parseFieldPath splits "design.masters[0].generator.gap" into typed
+// segments.
+func parseFieldPath(path string) ([]pathSeg, error) {
+	if strings.TrimSpace(path) == "" {
+		return nil, fmt.Errorf("empty field path")
+	}
+	parts := strings.Split(path, ".")
+	segs := make([]pathSeg, 0, len(parts))
+	for _, part := range parts {
+		name := part
+		var indices []int
+		for {
+			open := strings.IndexByte(name, '[')
+			if open < 0 {
+				break
+			}
+			rest := name[open:]
+			name = name[:open]
+			for rest != "" {
+				if rest[0] != '[' {
+					return nil, fmt.Errorf("field path %q: malformed index in %q", path, part)
+				}
+				close := strings.IndexByte(rest, ']')
+				if close < 0 {
+					return nil, fmt.Errorf("field path %q: unclosed index in %q", path, part)
+				}
+				n, err := strconv.Atoi(rest[1:close])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("field path %q: bad index %q", path, rest[1:close])
+				}
+				indices = append(indices, n)
+				rest = rest[close+1:]
+			}
+			break
+		}
+		if name == "" {
+			return nil, fmt.Errorf("field path %q: empty segment", path)
+		}
+		segs = append(segs, pathSeg{name: name, indices: indices})
+	}
+	return segs, nil
+}
+
+// setPath assigns val at the segment path inside a decoded JSON
+// document. Maps and slices are reference types, so writing through
+// the navigated containers mutates the document in place. Intermediate
+// objects are created for missing map keys (an omitted optional field
+// can still be swept); arrays are never grown.
+func setPath(doc any, segs []pathSeg, val any) error {
+	if len(segs) == 0 {
+		return fmt.Errorf("empty path")
+	}
+	seg := segs[0]
+	m, ok := doc.(map[string]any)
+	if !ok {
+		return fmt.Errorf("segment %q: parent is not an object", seg.name)
+	}
+	if len(seg.indices) == 0 {
+		if len(segs) == 1 {
+			m[seg.name] = val
+			return nil
+		}
+		child, ok := m[seg.name]
+		if !ok || child == nil {
+			child = map[string]any{}
+			m[seg.name] = child
+		}
+		return setPath(child, segs[1:], val)
+	}
+	cell, ok := m[seg.name]
+	if !ok || cell == nil {
+		return fmt.Errorf("segment %q: indexing a missing array", seg.name)
+	}
+	for ii, n := range seg.indices {
+		arr, ok := cell.([]any)
+		if !ok {
+			return fmt.Errorf("segment %q: not an array", seg.name)
+		}
+		if n >= len(arr) {
+			return fmt.Errorf("segment %q: index %d out of range (len %d)", seg.name, n, len(arr))
+		}
+		if ii == len(seg.indices)-1 {
+			if len(segs) == 1 {
+				arr[n] = val
+				return nil
+			}
+			return setPath(arr[n], segs[1:], val)
+		}
+		cell = arr[n]
+	}
+	return fmt.Errorf("segment %q: unreachable index state", seg.name)
+}

@@ -1,0 +1,284 @@
+// Package store is the persistent, content-addressed result store of
+// the job service: canonical spec hash → canonical report bytes, on
+// disk. It is the write-through layer under internal/service's
+// in-memory LRU — a coemud restart (or a sibling process pointed at
+// the same directory) serves previously computed runs without an
+// engine run, with the exact bytes the original run produced.
+//
+// Layout: <dir>/<hh>/<hash>.json, where hh is the first two hex digits
+// of the 64-hex-digit sha256 key (one fanout level keeps directories
+// small at six-figure entry counts). Writes are atomic — a temp file
+// in the same directory renamed over the final path — so a crashed or
+// concurrent writer can never leave a torn entry, and concurrent
+// writers of the same key converge on identical content (keys are
+// content addresses).
+//
+// The store is LRU-bounded by entry count. Recency survives restarts
+// through file modification times: Get touches the entry's mtime, Open
+// rebuilds the recency order from the directory scan.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxEntries bounds the store when Options.MaxEntries is 0.
+const DefaultMaxEntries = 4096
+
+// ErrBadKey is returned for keys that are not 64-digit lowercase hex
+// strings (the canonical sha256 form); the restriction keeps keys safe
+// to use as file names.
+var ErrBadKey = errors.New("store: key is not a canonical sha256 hex string")
+
+// Options configures Open.
+type Options struct {
+	// MaxEntries bounds the store's entry count; the least recently
+	// used entries are evicted past it. 0 selects DefaultMaxEntries;
+	// negative means unbounded.
+	MaxEntries int
+}
+
+// Stats is a point-in-time snapshot of the store's counters. Hits and
+// misses count Get outcomes, Puts successful writes, Evictions entries
+// removed by the LRU bound.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Store is a content-addressed on-disk result store. All methods are
+// safe for concurrent use.
+type Store struct {
+	dir string
+	max int
+
+	mu    sync.Mutex
+	byKey map[string]*entry
+	order []*entry // index 0 = least recently used
+	stats Stats
+}
+
+// entry tracks one stored key and its recency rank.
+type entry struct {
+	key  string
+	used time.Time
+}
+
+// Open creates (if needed) and indexes a store rooted at dir. Existing
+// entries are adopted with their file mtimes as recency; unreadable or
+// misnamed files are ignored. Opening the same directory from several
+// processes is safe: writes are atomic and reads fall back to disk on
+// index misses, so siblings see each other's results.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	max := opts.MaxEntries
+	if max == 0 {
+		max = DefaultMaxEntries
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, max: max, byKey: make(map[string]*entry)}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil //nolint:nilerr // skip unreadable subtrees, index the rest
+		}
+		key, ok := keyOfFile(d.Name())
+		if !ok {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		e := &entry{key: key, used: info.ModTime()}
+		s.byKey[key] = e
+		s.order = append(s.order, e)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i].used.Before(s.order[j].used) })
+	s.mu.Lock()
+	s.evictLocked()
+	s.stats.Evictions = 0 // adoption trimming is not an eviction
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the bytes stored under key and marks the entry most
+// recently used. An index miss probes the disk before reporting a miss
+// so results written by sibling processes are found.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, indexed := s.byKey[key]
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		// The file is gone (pruned externally, or never existed): drop
+		// any stale index entry and report a miss.
+		if indexed {
+			s.dropLocked(e)
+		}
+		s.stats.Misses++
+		return nil, false
+	}
+	if !indexed {
+		e = &entry{key: key}
+		s.byKey[key] = e
+		s.order = append(s.order, e)
+	}
+	s.touchLocked(e)
+	s.stats.Hits++
+	return data, true
+}
+
+// Put stores data under key, atomically, and marks the entry most
+// recently used. Storing an existing key refreshes its recency (the
+// content is already equal by construction: keys are content
+// addresses).
+func (s *Store) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byKey[key]
+	if !ok {
+		e = &entry{key: key}
+		s.byKey[key] = e
+		s.order = append(s.order, e)
+	}
+	s.touchLocked(e)
+	s.stats.Puts++
+	s.evictLocked()
+	return nil
+}
+
+// Len returns the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.byKey)
+	return st
+}
+
+// path maps a key to its sharded file path.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// touchLocked moves e to the most-recently-used end and persists the
+// recency in the file mtime (best effort — recency is advisory).
+func (s *Store) touchLocked(e *entry) {
+	e.used = time.Now()
+	for i, o := range s.order {
+		if o == e {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), e)
+			_ = os.Chtimes(s.path(e.key), e.used, e.used)
+			return
+		}
+	}
+	s.order = append(s.order, e)
+	_ = os.Chtimes(s.path(e.key), e.used, e.used)
+}
+
+// dropLocked removes e from the index without touching the disk.
+func (s *Store) dropLocked(e *entry) {
+	delete(s.byKey, e.key)
+	for i, o := range s.order {
+		if o == e {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked enforces the entry bound, deleting the least recently
+// used files.
+func (s *Store) evictLocked() {
+	if s.max < 0 {
+		return
+	}
+	for len(s.order) > s.max {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.byKey, victim.key)
+		_ = os.Remove(s.path(victim.key))
+		s.stats.Evictions++
+	}
+}
+
+// validKey reports whether key is a canonical 64-digit lowercase hex
+// sha256 string.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// keyOfFile extracts the key from a store file name ("<hash>.json").
+func keyOfFile(name string) (string, bool) {
+	key, ok := strings.CutSuffix(name, ".json")
+	if !ok || !validKey(key) {
+		return "", false
+	}
+	return key, true
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// key derives a distinct canonical key from a label.
+func key(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func open(t *testing.T, dir string, max int) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{MaxEntries: max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	k := key("a")
+	want := []byte(`{"report": 1}`)
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q/%v, want %q", got, ok, want)
+	}
+	if _, ok := s.Get(key("missing")); ok {
+		t.Fatal("hit on a missing key")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	k := key("persist")
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries", s2.Len())
+	}
+	got, ok := s2.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("reopened Get = %q/%v", got, ok)
+	}
+}
+
+func TestSiblingProcessVisibility(t *testing.T) {
+	// Two stores over one directory, as two coemud processes would be:
+	// a write through either must be readable through the other even
+	// though the reader's index has never seen the key.
+	dir := t.TempDir()
+	a := open(t, dir, 0)
+	b := open(t, dir, 0)
+	k := key("shared")
+	if err := a.Put(k, []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get(k)
+	if !ok || string(got) != "from-a" {
+		t.Fatalf("sibling Get = %q/%v", got, ok)
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(fmt.Sprintf("k%d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			if _, ok := keyOfFile(info.Name()); !ok {
+				t.Fatalf("stray file %s", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 3)
+	keys := []string{key("1"), key("2"), key("3")}
+	for _, k := range keys {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest so it is no longer the LRU victim.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("touch miss")
+	}
+	if err := s.Put(key("4"), []byte("4")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d after eviction", s.Len())
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if ev := s.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions %d, want 1", ev)
+	}
+	// The evicted entry's file is gone from disk too.
+	if _, err := os.Stat(filepath.Join(dir, keys[1][:2], keys[1]+".json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted file still present (err=%v)", err)
+	}
+}
+
+func TestRecencySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, -1)
+	old, fresh := key("old"), key("fresh")
+	if err := s.Put(old, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the old entry well past any filesystem mtime granularity.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, old[:2], old+".json"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fresh, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with capacity 1: the adopted order must evict by mtime,
+	// keeping the fresh entry.
+	s2 := open(t, dir, 1)
+	if _, ok := s2.Get(fresh); !ok {
+		t.Fatal("fresh entry evicted on reopen")
+	}
+	if _, ok := s2.Get(old); ok {
+		t.Fatal("stale entry survived a capacity-1 reopen")
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	for _, k := range []string{"", "short", "../../../../etc/passwd",
+		key("x")[:63] + "Z", key("y") + "0"} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Fatalf("Put accepted key %q", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("Get accepted key %q", k)
+		}
+	}
+}
+
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir, 0)
+	if s.Len() != 0 {
+		t.Fatalf("foreign files indexed: %d", s.Len())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := open(t, t.TempDir(), 64)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("w%d-%d", w, i%10))
+				if err := s.Put(k, []byte(k)); err != nil {
+					done <- err
+					return
+				}
+				if got, ok := s.Get(k); ok && string(got) != k {
+					done <- fmt.Errorf("corrupt read for %s", k)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
