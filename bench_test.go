@@ -419,4 +419,32 @@ func BenchmarkHostThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
 	})
+	// rollback-storm mirrors examples/rollback-storm part 1: organic
+	// mispredictions from a jittery slave the wait model cannot track,
+	// so rollback and roll-forth dominate without the fault injector.
+	b.Run("rollback-storm", func(b *testing.B) {
+		dj := coemu.Design{
+			Masters: []coemu.MasterSpec{{
+				Name:   "dma",
+				Domain: coemu.AccDomain,
+				NewGen: func() coemu.Generator {
+					return coemu.NewStream(coemu.Window{Lo: 0, Hi: 0x40000}, true,
+						coemu.BurstIncr8, coemu.Size32, 0, 0, 0)
+				},
+			}},
+			Slaves: []coemu.SlaveSpec{{
+				Name:      "flaky",
+				Domain:    coemu.SimDomain,
+				Region:    coemu.Region{Lo: 0, Hi: 0x80000},
+				New:       func() coemu.Slave { return coemu.NewJitterMemory("flaky", 1, 2, 7) },
+				WaitFirst: 1, WaitNext: 1,
+			}},
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := coemu.Run(dj, coemu.Config{Mode: coemu.ALS}, benchCycles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
+	})
 }

@@ -109,7 +109,7 @@ func main() {
 		fatalf(2, "baseline metric %q does not match -metric %q", base.Metric, current.Metric)
 	}
 
-	verdicts, missing := compare(base, current, *maxRegress)
+	verdicts, missing, news := compare(base, current, *maxRegress)
 	current.Comparison = verdicts
 	current.MaxRegress = *maxRegress
 	if *out != "" {
@@ -128,6 +128,10 @@ func main() {
 		fmt.Printf("%-60s %12.0f -> %12.0f  (%.3fx) %s\n",
 			v.Name, v.Baseline, v.Current, v.Ratio, status)
 	}
+	for _, name := range news {
+		fmt.Printf("%-60s %25.0f  NEW (no baseline; add with -update)\n",
+			name, current.Benchmarks[name])
+	}
 	for _, name := range missing {
 		fmt.Printf("%-60s missing from the current run\n", name)
 		failed = true
@@ -135,8 +139,8 @@ func main() {
 	if failed {
 		fatalf(1, "benchmark gate failed (allowed regression %.0f%%)", *maxRegress*100)
 	}
-	fmt.Printf("benchmark gate passed: %d benchmarks within %.0f%% of baseline\n",
-		len(verdicts), *maxRegress*100)
+	fmt.Printf("benchmark gate passed: %d benchmarks within %.0f%% of baseline (%d new)\n",
+		len(verdicts), *maxRegress*100, len(news))
 }
 
 // parseBench extracts the chosen metric from `go test -bench` output,
@@ -184,10 +188,13 @@ func normalizeName(name string) string {
 }
 
 // compare gates every baseline benchmark against the current run.
-// Benchmarks only present in the current run pass silently (they have
-// no baseline yet); benchmarks missing from the current run are
-// reported — a silently shrinking gate is no gate.
-func compare(base, current *Results, maxRegress float64) (verdicts []Verdict, missing []string) {
+// Benchmarks present in the run but absent from the baseline are new:
+// they are reported (so the operator knows to re-baseline with
+// -update) but never fail the gate — a fresh benchmark must be able to
+// land in the same change as its code. Benchmarks missing from the
+// current run are reported as failures — a silently shrinking gate is
+// no gate.
+func compare(base, current *Results, maxRegress float64) (verdicts []Verdict, missing, news []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -207,7 +214,13 @@ func compare(base, current *Results, maxRegress float64) (verdicts []Verdict, mi
 		}
 		verdicts = append(verdicts, v)
 	}
-	return verdicts, missing
+	for name := range current.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			news = append(news, name)
+		}
+	}
+	sort.Strings(news)
+	return verdicts, missing, news
 }
 
 func readResults(path string) (*Results, error) {

@@ -63,15 +63,16 @@ func main() {
 	sweepMax := flag.Int("sweep-max", spec.MaxSweepPoints, "maximum points one /v1/sweep request may expand to")
 	storeDir := flag.String("store", "", "persistent result store directory (empty disables)")
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "persistent store entry bound (negative = unbounded)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store disk-byte bound (0 = unbounded)")
 	flag.Parse()
 
 	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: log.Printf}
 	if *storeDir != "" {
-		disk, err := store.Open(*storeDir, store.Options{MaxEntries: *storeMax})
+		disk, err := store.Open(*storeDir, store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("result store at %s (%d entries)", disk.Dir(), disk.Len())
+		log.Printf("result store at %s (%d entries, %d bytes)", disk.Dir(), disk.Len(), disk.Bytes())
 		opts.Store = disk
 	}
 	svc := service.New(opts)

@@ -131,10 +131,23 @@ type PartialState struct {
 // disagree about bus state — a protocol-splitting bug the engine must
 // never mask.
 func Merge(a, b PartialState) CycleState {
+	var c CycleState
+	MergeInto(&c, &a, &b)
+	return c
+}
+
+// MergeInto is Merge writing through pointers: dst receives the full
+// record and the contributions are read in place. The engine's cycle
+// loop merges once per committed cycle, so the value copies Merge
+// implies are worth avoiding.
+func MergeInto(dst *CycleState, a, b *PartialState) {
 	if a.ReqMask&b.ReqMask != 0 {
 		panic(fmt.Sprintf("amba: overlapping request ownership %04x/%04x", a.ReqMask, b.ReqMask))
 	}
-	var c CycleState
+	// Every field of dst is written exactly once (no zero-then-set):
+	// MergeInto runs once per committed cycle.
+	c := dst
+	c.Grant = 0
 	c.Req = (a.Req & a.ReqMask) | (b.Req & b.ReqMask)
 	c.IRQ = (a.IRQ & a.IRQMask) | (b.IRQ & b.IRQMask)
 	// HSPLITx lines are per-slave vectors ORed by the arbiter, so both
@@ -147,6 +160,8 @@ func Merge(a, b PartialState) CycleState {
 		c.AP = a.AP
 	case b.HasAP:
 		c.AP = b.AP
+	default:
+		c.AP = AddrPhase{}
 	}
 	switch {
 	case a.HasWData && b.HasWData:
@@ -155,6 +170,8 @@ func Merge(a, b PartialState) CycleState {
 		c.WData = a.WData
 	case b.HasWData:
 		c.WData = b.WData
+	default:
+		c.WData = 0
 	}
 	switch {
 	case a.HasReply && b.HasReply:
@@ -169,7 +186,6 @@ func Merge(a, b PartialState) CycleState {
 		// domains locally, so it never crosses the channel.
 		c.Reply = OkayReady()
 	}
-	return c
 }
 
 // Equal reports deep equality of two partial states, including presence

@@ -165,10 +165,23 @@ type Bus struct {
 
 	st   busState
 	eval evalState
+	res  StepResult // CommitFrom result record, reused every cycle
 
 	// drives is the Evaluate scratch buffer, sized to the master count
 	// and reused every cycle so the steady-state loop never allocates.
+	// Slots of external (nil) masters stay zero forever; local slots
+	// are overwritten each Evaluate before any read, so the buffer is
+	// never re-zeroed on the hot path.
 	drives []MasterDrive
+
+	// localReq caches LocalReqMask (the topology is fixed after
+	// construction; recomputing it per cycle showed in profiles).
+	localReq uint32
+
+	// saved/clean implement compare-on-save dirty tracking
+	// (rollback.DeltaSnapshotter); busState is a small value struct.
+	saved busState
+	clean bool
 }
 
 // New creates an empty bus fabric that owns the default slave.
@@ -209,6 +222,9 @@ func (b *Bus) addMaster(m Master, name string) int {
 	}
 	b.masters = append(b.masters, m)
 	b.mnames = append(b.mnames, name)
+	if m != nil {
+		b.localReq |= 1 << uint(len(b.masters)-1)
+	}
 	if src, ok := m.(IRQSource); ok && m != nil {
 		b.irqs = append(b.irqs, src)
 	}
@@ -275,15 +291,7 @@ func (b *Bus) SlaveLocal(i int) bool {
 }
 
 // LocalReqMask returns the HBUSREQ bits owned by local masters.
-func (b *Bus) LocalReqMask() uint32 {
-	var m uint32
-	for i := range b.masters {
-		if b.masters[i] != nil {
-			m |= 1 << uint(i)
-		}
-	}
-	return m
-}
+func (b *Bus) LocalReqMask() uint32 { return b.localReq }
 
 // LocalIRQMask returns the interrupt lines owned by local components.
 func (b *Bus) LocalIRQMask() uint32 { return b.irqMask }
@@ -347,6 +355,15 @@ func (b *Bus) Arbitrate(req uint32) int {
 // be followed by exactly one Commit. Calling Evaluate twice without a
 // Commit panics — that would double-step component state.
 func (b *Bus) Evaluate() amba.PartialState {
+	var p amba.PartialState
+	b.EvaluateInto(&p)
+	return p
+}
+
+// EvaluateInto is Evaluate writing the contribution through dst — the
+// engine's cycle loop deposits it straight into a LOB entry without
+// the intermediate value copies a return implies.
+func (b *Bus) EvaluateInto(dst *amba.PartialState) {
 	if b.eval.valid {
 		panic(fmt.Sprintf("bus %s: Evaluate without intervening Commit", b.name))
 	}
@@ -358,12 +375,10 @@ func (b *Bus) Evaluate() amba.PartialState {
 		b.drives = make([]MasterDrive, len(b.masters))
 	}
 	drives := b.drives[:len(b.masters)]
-	for i := range drives {
-		drives[i] = MasterDrive{}
-	}
-	var local amba.PartialState
-	local.ReqMask = b.LocalReqMask()
-	local.IRQMask = b.irqMask
+	// Build the contribution directly in the eval stash; one copy out
+	// to the caller at the end.
+	local := &b.eval.local
+	*local = amba.PartialState{ReqMask: b.localReq, IRQMask: b.irqMask}
 
 	for i, m := range b.masters {
 		if m == nil {
@@ -409,8 +424,9 @@ func (b *Bus) Evaluate() amba.PartialState {
 	}
 	local.Split &= local.SplitMask
 
-	b.eval = evalState{valid: true, drives: drives, local: local}
-	return local
+	b.eval.valid = true
+	b.eval.drives = drives
+	*dst = *local
 }
 
 // StepResult reports one completed bus cycle: the full MSABS record plus
@@ -432,14 +448,24 @@ type StepResult struct {
 // advances the pipeline by one clock edge and delivers feedback to the
 // local components. For a fully-local bus pass an empty PartialState.
 func (b *Bus) Commit(remote amba.PartialState) StepResult {
+	return *b.CommitFrom(&remote)
+}
+
+// CommitFrom is Commit reading the remote contribution in place and
+// returning a pointer into the bus-owned result record, valid until
+// the next Commit — the engine's cycle loop commits once per target
+// cycle, and the state-record value copies a return implies were a
+// measurable slice of it.
+func (b *Bus) CommitFrom(remote *amba.PartialState) *StepResult {
 	if !b.eval.valid {
 		panic(fmt.Sprintf("bus %s: Commit without Evaluate", b.name))
 	}
-	local := b.eval.local
 	drives := b.eval.drives
-	b.eval = evalState{}
+	b.eval.valid = false
 
-	full := amba.Merge(local, remote)
+	res := &b.res
+	amba.MergeInto(&res.State, &b.eval.local, remote)
+	full := &res.State
 	full.Grant = b.st.Grant
 	dp := b.st.DP
 	reply := full.Reply
@@ -460,13 +486,10 @@ func (b *Bus) Commit(remote amba.PartialState) StepResult {
 	// Arbitration (combinational; takes effect at the edge when ready).
 	nextGrant := b.Arbitrate(full.Req)
 
-	res := StepResult{
-		State:      full,
-		DataValid:  dp.Valid,
-		DataMaster: dp.Master,
-		DataSlave:  dp.Slave,
-		DataWrite:  dp.Valid && dp.AP.Write,
-	}
+	res.DataValid = dp.Valid
+	res.DataMaster = dp.Master
+	res.DataSlave = dp.Slave
+	res.DataWrite = dp.Valid && dp.AP.Write
 
 	// Write data lands in the local slave at the completing edge.
 	if dp.Valid && dp.AP.Write && reply.Ready && reply.Resp == amba.RespOkay &&
@@ -477,9 +500,12 @@ func (b *Bus) Commit(remote amba.PartialState) StepResult {
 	// Pipeline advance.
 	grantBefore := b.st.Grant
 	if reply.Ready {
-		ap := full.AP
+		ap := &full.AP
 		if ap.Trans.Active() {
-			b.st.DP = dataPhase{Valid: true, AP: ap, Master: b.st.Grant, Slave: b.Decode(ap.Addr)}
+			b.st.DP.Valid = true
+			b.st.DP.AP = *ap
+			b.st.DP.Master = b.st.Grant
+			b.st.DP.Slave = b.Decode(ap.Addr)
 		} else {
 			b.st.DP = dataPhase{}
 		}
@@ -579,3 +605,22 @@ func (b *Bus) Restore(s any) {
 	b.st = *st
 	b.eval = evalState{}
 }
+
+// Dirty implements rollback.DeltaSnapshotter: the fabric changed iff
+// its registered state moved since the last MarkClean (the cycle
+// counter alone makes any committed cycle dirty, as it must).
+func (b *Bus) Dirty() bool { return !b.clean || b.st != b.saved }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (b *Bus) MarkClean() {
+	b.saved = b.st
+	b.clean = true
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter; busState is one
+// small value struct, so deltas are self-contained copies.
+func (b *Bus) SaveDelta(prev any) any { return b.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (b *Bus) RestoreDelta(newest any) { b.Restore(newest) }

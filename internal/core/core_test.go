@@ -127,10 +127,10 @@ func runBoth(t *testing.T, d Design, cfg Config, cycles int64) *Report {
 func TestLOBPushFlushAccounting(t *testing.T) {
 	l := NewLOB(32)
 	e := Entry{Out: amba.PartialState{ReqMask: 1}, Pred: amba.PartialState{ReqMask: 2}, HasPred: true}
-	if !l.Fits(e) {
+	if !l.Fits(&e) {
 		t.Fatal("entry must fit an empty 32-word LOB")
 	}
-	l.Push(e)
+	l.Push(&e)
 	if l.Len() != 1 {
 		t.Fatalf("len = %d", l.Len())
 	}
@@ -149,13 +149,13 @@ func TestLOBPushFlushAccounting(t *testing.T) {
 
 func TestLOBOverflowPanics(t *testing.T) {
 	l := NewLOB(4)
-	l.Push(Entry{Out: amba.PartialState{}, HasPred: false}) // 1+1 words... header + out
+	l.Push(&Entry{Out: amba.PartialState{}, HasPred: false}) // 1+1 words... header + out
 	defer func() {
 		if recover() == nil {
 			t.Fatal("push after final entry must panic")
 		}
 	}()
-	l.Push(Entry{Out: amba.PartialState{}})
+	l.Push(&Entry{Out: amba.PartialState{}})
 }
 
 func TestLOBDepthPanics(t *testing.T) {

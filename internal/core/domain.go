@@ -41,14 +41,17 @@ type Domain struct {
 	snap rollback.Snapshot
 }
 
-// buildDomain constructs one half of the split system.
-func buildDomain(d Design, id DomainID, cycleCost time.Duration, costModel rollback.CostModel, opts predictorOptions) *Domain {
+// buildDomain constructs one half of the split system. deltaCadence
+// configures the registry's incremental snapshot ring (1 = full saves
+// every transition, the pre-delta behavior).
+func buildDomain(d Design, id DomainID, cycleCost time.Duration, costModel rollback.CostModel, opts predictorOptions, deltaCadence int) *Domain {
 	dom := &Domain{
 		id:        id,
 		bus:       bus.New(id.String()),
 		cycleCost: cycleCost,
 		costModel: costModel,
 	}
+	dom.reg.SetDeltaCadence(deltaCadence)
 	if id == SimDomain {
 		dom.timeCat = vclock.Sim
 	} else {
@@ -141,12 +144,20 @@ func (d *Domain) Masters() []*ip.TrafficMaster { return d.masters }
 // Evaluate computes the domain's contribution for the upcoming cycle
 // and charges one cycle of domain time to the ledger.
 func (d *Domain) Evaluate(ledger *vclock.Ledger) amba.PartialState {
+	var p amba.PartialState
+	d.EvaluateInto(ledger, &p)
+	return p
+}
+
+// EvaluateInto is Evaluate writing the contribution through dst — the
+// engine deposits it straight into a LOB entry.
+func (d *Domain) EvaluateInto(ledger *vclock.Ledger, dst *amba.PartialState) {
 	if d.evaluated {
 		panic(fmt.Sprintf("core: domain %s: Evaluate without Commit", d.id))
 	}
 	ledger.Charge(d.timeCat, d.cycleCost)
 	d.evaluated = true
-	return d.bus.Evaluate()
+	d.bus.EvaluateInto(dst)
 }
 
 // Commit completes the cycle with the given remote contribution (real or
@@ -154,18 +165,25 @@ func (d *Domain) Evaluate(ledger *vclock.Ledger) amba.PartialState {
 // predictor's observation stream, and returns the full merged MSABS
 // record.
 func (d *Domain) Commit(remote amba.PartialState) amba.CycleState {
+	return *d.CommitFrom(&remote)
+}
+
+// CommitFrom is Commit reading the remote contribution in place; the
+// returned record points into the bus-owned result, valid until the
+// next Commit.
+func (d *Domain) CommitFrom(remote *amba.PartialState) *amba.CycleState {
 	if !d.evaluated {
 		panic(fmt.Sprintf("core: domain %s: Commit without Evaluate", d.id))
 	}
 	d.evaluated = false
 	d.pred.StashDataPhase()
-	res := d.bus.Commit(remote)
+	res := d.bus.CommitFrom(remote)
 	cycle := d.clock.Advance()
 	for _, t := range d.tickers {
 		t.Tick(cycle)
 	}
-	d.pred.Observe(res.State, remote)
-	return res.State
+	d.pred.Observe(&res.State, remote)
+	return &res.State
 }
 
 // Predict returns the predicted remote contribution for the upcoming
@@ -175,17 +193,26 @@ func (d *Domain) Predict() (amba.PartialState, DeclineReason) {
 	return d.pred.Predict()
 }
 
+// PredictInto is Predict writing the prediction through dst (zeroed on
+// decline).
+func (d *Domain) PredictInto(dst *amba.PartialState) DeclineReason {
+	return d.pred.PredictInto(dst)
+}
+
 // Snapshot captures the whole domain (components, generators, bus,
-// predictor, clock) and charges the store cost. The returned snapshot
-// recycles the buffers of the previous Snapshot call: only the most
-// recent one may still be restored, exactly the leader's rollback
-// discipline.
+// predictor, clock) and charges the store cost. The capture is
+// incremental under the registry's delta cadence — periodic full
+// snapshots anchor a ring of dirty-component deltas — and recycles the
+// buffers of previous Snapshot calls: only the most recent one may
+// still be restored, exactly the leader's rollback discipline. The
+// modeled store cost is charged identically whatever the host copies:
+// the emulated hardware shadows its full register state either way.
 func (d *Domain) Snapshot(ledger *vclock.Ledger, vars int) rollback.Snapshot {
 	if d.evaluated {
 		panic(fmt.Sprintf("core: domain %s: snapshot mid-cycle", d.id))
 	}
 	ledger.Charge(vclock.Store, d.costModel.StoreCost(vars))
-	d.reg.SaveInto(&d.snap)
+	d.reg.SaveIncremental(&d.snap)
 	return d.snap
 }
 

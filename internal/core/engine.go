@@ -129,6 +129,17 @@ type Config struct {
 	// the store (footnote 6). Off by default: snapshotting directly at
 	// the sync point is behaviorally identical and one cycle cheaper.
 	PaperStrictTransitions bool
+	// DeltaCadence sets the incremental-snapshot cadence of the
+	// per-transition rollback store: every DeltaCadence-th store is a
+	// full capture of the leader's components (a ring anchor), and the
+	// stores between anchors capture only components whose state
+	// actually moved, as dirty-tracked deltas. It is a host-side knob:
+	// the modeled store/restore costs (rollback.CostModel) are charged
+	// identically for every setting, so modeled metrics, stats and
+	// traces are bit-identical whatever the cadence. 0 selects
+	// DefaultDeltaCadence; 1 disables delta saving (every store full,
+	// exactly the pre-delta behavior).
+	DeltaCadence int
 	// CycleBatch caps the predicted-quiescence fast path: when ground
 	// truth (idle masters, quiet peripherals, an idle bus fixed point)
 	// and the predictor together prove that the next cycles are exact
@@ -163,6 +174,13 @@ type Config struct {
 // stretches re-probe quiescence (and cancellation) every 64 cycles.
 const DefaultCycleBatch = 64
 
+// DefaultDeltaCadence is the incremental-snapshot cadence used when
+// Config.DeltaCadence is zero: one full capture anchors fifteen delta
+// saves. Anchors bound the ring the restore walk replays; past ~16 the
+// skip savings flatten while the ring's memory footprint keeps
+// growing.
+const DefaultDeltaCadence = 16
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	if c.SimSpeed == 0 {
@@ -194,6 +212,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CycleBatch == 0 {
 		c.CycleBatch = DefaultCycleBatch
+	}
+	if c.DeltaCadence == 0 {
+		c.DeltaCadence = DefaultDeltaCadence
 	}
 	return c
 }
@@ -283,6 +304,13 @@ type Engine struct {
 	preds    []amba.PartialState
 	flushEnt []Entry
 
+	// rxBuf holds the decoded payload of the most recent wire-codec
+	// receive per direction (both directions can be in flight within
+	// one conservative cycle). predBuf is the scratch for leader-choice
+	// probes, whose predicted value is discarded.
+	rxBuf   [2]amba.PartialState
+	predBuf amba.PartialState
+
 	// consOut and consFull hold the most recent conservative cycle's
 	// per-domain contributions and merged state — the template a
 	// batched conservative stretch repeats (and the payload sizes its
@@ -345,13 +373,16 @@ func NewEngine(d Design, cfg Config) (*Engine, error) {
 	if cfg.CycleBatch < 1 {
 		return nil, fmt.Errorf("core: cycle batch %d < 1 (0 selects the default, 1 disables batching)", cfg.CycleBatch)
 	}
+	if cfg.DeltaCadence < 1 {
+		return nil, fmt.Errorf("core: delta cadence %d < 1 (0 selects the default, 1 disables delta snapshots)", cfg.DeltaCadence)
+	}
 	e := &Engine{cfg: cfg, lob: NewLOB(cfg.LOBDepth)}
 	e.ch = channel.New(*cfg.Stack, &e.ledger)
 	simCyc := time.Duration(1e9 / cfg.SimSpeed)
 	accCyc := time.Duration(1e9 / cfg.AccSpeed)
 	opts := predictorOptions{Idle: cfg.PredictIdle, Starts: cfg.PredictBurstStarts}
-	e.domains[SimDomain] = buildDomain(d, SimDomain, simCyc, *cfg.SimCost, opts)
-	e.domains[AccDomain] = buildDomain(d, AccDomain, accCyc, *cfg.AccCost, opts)
+	e.domains[SimDomain] = buildDomain(d, SimDomain, simCyc, *cfg.SimCost, opts, cfg.DeltaCadence)
+	e.domains[AccDomain] = buildDomain(d, AccDomain, accCyc, *cfg.AccCost, opts, cfg.DeltaCadence)
 	if cfg.Accuracy < 1 {
 		e.inject = predict.NewFaultInjector(cfg.Accuracy, cfg.FaultSeed)
 	}
@@ -382,7 +413,7 @@ func dirFrom(d DomainID) channel.Dir {
 }
 
 // commitTrace records a committed cycle in the merged trace stream.
-func (e *Engine) commitTrace(cs amba.CycleState) error {
+func (e *Engine) commitTrace(cs *amba.CycleState) error {
 	return e.commitTraceN(cs, 1)
 }
 
@@ -391,17 +422,17 @@ func (e *Engine) commitTrace(cs amba.CycleState) error {
 // every cycle merges to the same state. The protocol checker still
 // sees one Check per cycle, and the kept trace grows by n identical
 // records, exactly as n single commits would leave them.
-func (e *Engine) commitTraceN(cs amba.CycleState, n int64) error {
+func (e *Engine) commitTraceN(cs *amba.CycleState, n int64) error {
 	if e.cfg.CheckProtocol {
 		for i := int64(0); i < n; i++ {
-			if err := e.checker.Check(cs); err != nil {
+			if err := e.checker.Check(*cs); err != nil {
 				return fmt.Errorf("core: committed trace: %w", err)
 			}
 		}
 	}
 	if e.cfg.KeepTrace {
 		for i := int64(0); i < n; i++ {
-			e.trace = append(e.trace, cs)
+			e.trace = append(e.trace, *cs)
 		}
 	}
 	e.stats.Committed += n
@@ -425,7 +456,7 @@ func inactivePartial(p *amba.PartialState) bool {
 // default loopback path accounts the access at the packed size without
 // materializing a packet (the engine is both endpoints and already
 // holds the value); WirePackets forces the codec round trip.
-func (e *Engine) sendPartial(d channel.Dir, p amba.PartialState) {
+func (e *Engine) sendPartial(d channel.Dir, p *amba.PartialState) {
 	if e.cfg.WirePackets {
 		e.packBuf = p.Pack(e.packBuf[:0])
 		e.ch.Send(d, e.packBuf)
@@ -441,14 +472,15 @@ func (e *Engine) sendPartial(d channel.Dir, p amba.PartialState) {
 // round-trips every packable state losslessly (design validation
 // bounds masters and IRQ lines to the header's eight bits), which the
 // wire-codec differential test pins end to end.
-func (e *Engine) recvPartial(d channel.Dir, sent amba.PartialState, irqMask uint32) (amba.PartialState, error) {
+func (e *Engine) recvPartial(d channel.Dir, sent *amba.PartialState, irqMask uint32) (*amba.PartialState, error) {
 	if !e.cfg.WirePackets {
 		return sent, nil
 	}
 	pkt := e.ch.Recv(d)
 	p, _, err := amba.Unpack(pkt, irqMask)
 	e.ch.Release(pkt)
-	return p, err
+	e.rxBuf[d] = p
+	return &e.rxBuf[d], err
 }
 
 // conservativeCycle synchronizes both domains for one cycle the
@@ -461,9 +493,11 @@ func (e *Engine) conservativeCycle() error {
 		return errCanceled
 	}
 	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
-	simOut := simD.Evaluate(&e.ledger)
+	simOut := &e.consOut[SimDomain]
+	accOut := &e.consOut[AccDomain]
+	simD.EvaluateInto(&e.ledger, simOut)
 	e.sendPartial(channel.SimToAcc, simOut)
-	accOut := accD.Evaluate(&e.ledger)
+	accD.EvaluateInto(&e.ledger, accOut)
 	e.sendPartial(channel.AccToSim, accOut)
 
 	simIn, err := e.recvPartial(channel.AccToSim, accOut, accD.LocalIRQMask())
@@ -475,17 +509,15 @@ func (e *Engine) conservativeCycle() error {
 		return fmt.Errorf("core: conservative acc<-sim: %w", err)
 	}
 
-	fullSim := simD.Commit(simIn)
-	fullAcc := accD.Commit(accIn)
-	if !fullSim.Equal(fullAcc) {
+	fullSim := simD.CommitFrom(simIn)
+	fullAcc := accD.CommitFrom(accIn)
+	if *fullSim != *fullAcc {
 		return fmt.Errorf("core: domains diverged on a conservative cycle:\nsim: %s\nacc: %s", fullSim, fullAcc)
 	}
-	e.consOut[SimDomain] = simOut
-	e.consOut[AccDomain] = accOut
-	e.consFull = fullSim
+	e.consFull = *fullSim
 	e.stats.ConservativeCycles++
 	e.failEWMA *= ewmaDecay
-	return e.commitTrace(fullSim)
+	return e.commitTrace(&e.consFull)
 }
 
 // batchConservative extends the conservative cycle just committed
@@ -547,7 +579,7 @@ func (e *Engine) batchConservative(cycles int64, decl declinePair) error {
 	for i := int64(0); i < n; i++ {
 		e.failEWMA *= ewmaDecay
 	}
-	return e.commitTraceN(e.consFull, n)
+	return e.commitTraceN(&e.consFull, n)
 }
 
 // declinePair is the decline record of one leader choice: at most two
@@ -571,7 +603,7 @@ func (e *Engine) pickLeader() (*Domain, declinePair) {
 	}
 	slot := 0
 	try := func(d *Domain) *Domain {
-		_, reason := d.Predict()
+		reason := d.PredictInto(&e.predBuf)
 		if reason == DeclineNone {
 			return d
 		}
@@ -690,16 +722,20 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	// predictor declines, the LOB fills, or the budget is reached. The
 	// buffer always keeps room for the final, prediction-less entry
 	// (maxPartialWords), which is deposited after the loop decides to
-	// stop — by then the cycle is already evaluated.
+	// stop — by then the cycle is already evaluated. The entry is
+	// reused across iterations (Push copies it into the buffer); only
+	// its size memo needs an explicit reset.
 	preds := e.preds[:0]
 	defer func() { e.preds = preds[:0] }()
+	var entry Entry
+	entry.HasPred = true
 	for {
 		if e.canceled() {
 			return committedLead, errCanceled
 		}
-		out := leader.Evaluate(&e.ledger)
-		pred, reason := leader.Predict()
-		entry := Entry{Out: out, Pred: pred, HasPred: true}
+		entry.words = 0
+		leader.EvaluateInto(&e.ledger, &entry.Out)
+		reason := leader.PredictInto(&entry.Pred)
 		last := false
 		if reason != DeclineNone {
 			e.stats.Declines[reason]++
@@ -710,12 +746,13 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 			last = true
 		}
 		if last {
-			e.lob.Push(Entry{Out: out})
+			final := Entry{Out: entry.Out}
+			e.lob.Push(&final)
 			break
 		}
-		e.lob.Push(entry)
-		preds = append(preds, pred)
-		leader.Commit(pred)
+		e.lob.Push(&entry)
+		preds = append(preds, entry.Pred)
+		leader.CommitFrom(&entry.Pred)
 		e.stats.RunAheadCycles++
 
 		// Predicted-quiescence fast path: when the leader is provably
@@ -729,8 +766,8 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 				return committedLead, errCanceled
 			}
 			for k := int64(0); k < n; k++ {
-				e.lob.Push(entry)
-				preds = append(preds, pred)
+				e.lob.Push(&entry)
+				preds = append(preds, entry.Pred)
 			}
 			leader.AdvanceQuiescent(&e.ledger, n)
 			e.stats.RunAheadCycles += n
@@ -763,12 +800,13 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	// leader's outputs and checks each prediction (L-1).
 	committed := committedLead
 	for i := 0; i < len(got); i++ {
-		entry := got[i]
+		entry := &got[i]
 		if e.canceled() {
 			return committed, errCanceled
 		}
-		laggerOut := lagger.Evaluate(&e.ledger)
-		full := lagger.Commit(entry.Out)
+		var laggerOut amba.PartialState
+		lagger.EvaluateInto(&e.ledger, &laggerOut)
+		full := lagger.CommitFrom(&entry.Out)
 		e.stats.FollowUpCycles++
 		if err := e.commitTrace(full); err != nil {
 			return committed, err
@@ -782,12 +820,12 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 			if err != nil || !ok {
 				return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
 			}
-			leader.Commit(actual)
+			leader.CommitFrom(&actual)
 			return committed, nil
 		}
 
 		e.stats.ChecksTotal++
-		match := laggerOut.Equal(entry.Pred)
+		match := laggerOut == entry.Pred
 		if match && e.inject != nil && e.inject.Mispredict() {
 			match = false
 			e.stats.Injected++
@@ -832,15 +870,16 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		e.stats.Restores++
 		e.rollLen.Add(i + 1)
 		for r := 0; r <= i; r++ {
-			replayOut := leader.Evaluate(&e.ledger)
-			if !replayOut.Equal(got[r].Out) {
+			var replayOut amba.PartialState
+			leader.EvaluateInto(&e.ledger, &replayOut)
+			if replayOut != got[r].Out {
 				return committed, fmt.Errorf("core: roll-forth diverged at %d/%d:\nwas: %+v\nnow: %+v", r, i, got[r].Out, replayOut)
 			}
-			remote := actual
+			remote := &actual
 			if r < i {
-				remote = preds[r]
+				remote = &preds[r]
 			}
-			leader.Commit(remote)
+			leader.CommitFrom(remote)
 			e.stats.RollForthCycles++
 		}
 		return committed, nil
@@ -903,7 +942,7 @@ func (e *Engine) followUpQuiescent(lagger *Domain, got []Entry, i int) int64 {
 		limit = q
 	}
 	n := int64(0)
-	for n < limit && i+1+int(n) < len(got) && got[i+1+int(n)] == *entry {
+	for n < limit && i+1+int(n) < len(got) && sameEntry(&got[i+1+int(n)], entry) {
 		n++
 	}
 	return n

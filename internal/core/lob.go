@@ -20,15 +20,29 @@ type Entry struct {
 	Out     amba.PartialState
 	Pred    amba.PartialState
 	HasPred bool
+
+	// words memoizes Words (0 = not yet computed; a packed state is
+	// never empty). Words is consulted several times per run-ahead
+	// cycle — the repeated PackedWords walks showed in profiles.
+	words uint8
 }
 
 // Words returns the wire size of the entry in 32-bit words.
-func (e Entry) Words() int {
-	n := e.Out.PackedWords()
-	if e.HasPred {
-		n += e.Pred.PackedWords()
+func (e *Entry) Words() int {
+	if e.words == 0 {
+		n := e.Out.PackedWords()
+		if e.HasPred {
+			n += e.Pred.PackedWords()
+		}
+		e.words = uint8(n)
 	}
-	return n
+	return int(e.words)
+}
+
+// sameEntry compares the wire-visible content of two entries, ignoring
+// the size memo (which may be computed on one side only).
+func sameEntry(a, b *Entry) bool {
+	return a.HasPred == b.HasPred && a.Out == b.Out && a.Pred == b.Pred
 }
 
 // LOB is the Leader Output Buffer: during the run-ahead step the leader
@@ -65,23 +79,24 @@ func (l *LOB) Len() int { return len(l.entries) }
 func (l *LOB) Words() int { return l.words + 1 }
 
 // Fits reports whether an additional entry would still fit.
-func (l *LOB) Fits(e Entry) bool { return l.Words()+e.Words() <= l.depth }
+func (l *LOB) Fits(e *Entry) bool { return l.Words()+e.Words() <= l.depth }
 
-// Push appends an entry. Pushing past capacity panics: the leader must
-// check Fits first — overflow is a channel-wrapper bug, not a condition
-// to absorb.
-func (l *LOB) Push(e Entry) {
+// Push appends an entry (by value; the pointer only avoids an argument
+// copy). Pushing past capacity panics: the leader must check Fits
+// first — overflow is a channel-wrapper bug, not a condition to absorb.
+func (l *LOB) Push(e *Entry) {
 	w := e.Words()
-	if l.Words()+w > l.depth {
-		panic(fmt.Sprintf("core: LOB overflow (%d+%d > %d words)", l.Words(), w, l.depth))
+	after := l.words + 1 + w // Words() once the entry is in
+	if after > l.depth {
+		panic(fmt.Sprintf("core: LOB overflow (%d+%d > %d words)", l.words+1, w, l.depth))
 	}
-	if len(l.entries) > 0 && !l.entries[len(l.entries)-1].HasPred {
+	if n := len(l.entries); n > 0 && !l.entries[n-1].HasPred {
 		panic("core: push after the final (prediction-less) entry")
 	}
-	l.entries = append(l.entries, e)
+	l.entries = append(l.entries, *e)
 	l.words += w
-	if l.Words() > l.peak {
-		l.peak = l.Words()
+	if after > l.peak {
+		l.peak = after
 	}
 }
 

@@ -39,16 +39,24 @@ type remotePredictor struct {
 	// mispredict on the request-line blip between bursts).
 	coupleReq bool
 
-	req      predict.LastValue
-	irq      predict.LastValue
-	trackers map[int]*predict.BurstTracker // per remote master
-	waits    map[int]*predict.WaitModel    // per remote slave
+	req predict.LastValue
+	irq predict.LastValue
+	// trackers/waits are dense slices indexed by global master/slave
+	// number (nil for local components): the per-cycle Predict lookups
+	// and the per-transition snapshot walks cost array indexing
+	// instead of the map accesses and map iteration that used to
+	// dominate the rollback-heavy store/restore profile.
+	trackers []*predict.BurstTracker // per remote master
+	waits    []*predict.WaitModel    // per remote slave
 	defErr   defMirror
 
 	lastValid bool
 	lastFull  amba.CycleState
 
 	pendingDP
+
+	// dirty tracks mutation since MarkClean (rollback.DeltaSnapshotter).
+	dirty bool
 }
 
 // defMirror predicts the two-cycle ERROR sequence of a remotely-owned
@@ -84,8 +92,9 @@ func newRemotePredictor(b *bus.Bus, ownsDefault bool, waitProfiles map[int][2]in
 		b:             b,
 		remoteReqMask: ^b.LocalReqMask() & ((1 << uint(b.Masters())) - 1),
 		ownsDefault:   ownsDefault,
-		trackers:      make(map[int]*predict.BurstTracker),
-		waits:         make(map[int]*predict.WaitModel),
+		trackers:      make([]*predict.BurstTracker, b.Masters()),
+		waits:         make([]*predict.WaitModel, b.Slaves()),
+		dirty:         true,
 	}
 	p.coupleReq = opts.Starts
 	for i := 0; i < b.Masters(); i++ {
@@ -125,15 +134,24 @@ const (
 // returns the same value.
 func (p *remotePredictor) Predict() (amba.PartialState, DeclineReason) {
 	var out amba.PartialState
-	out.ReqMask = p.remoteReqMask
-	out.Req = p.req.Predict() & p.remoteReqMask
-	out.IRQMask = p.remoteIRQMask
-	out.IRQ = p.irq.Predict() & p.remoteIRQMask
-	out.SplitMask = p.remoteSplitMask
-	// HSPLITx lines are pulses; last-value prediction of a raised line
-	// would hold it high forever, so predict all-low and absorb one
-	// rollback per remote split release instead.
-	out.Split = 0
+	reason := p.PredictInto(&out)
+	return out, reason
+}
+
+// PredictInto is Predict writing the prediction through dst (zeroed on
+// decline) — the engine deposits it straight into a LOB entry.
+func (p *remotePredictor) PredictInto(dst *amba.PartialState) DeclineReason {
+	out := dst
+	*out = amba.PartialState{
+		ReqMask: p.remoteReqMask,
+		Req:     p.req.Predict() & p.remoteReqMask,
+		IRQMask: p.remoteIRQMask,
+		IRQ:     p.irq.Predict() & p.remoteIRQMask,
+		// HSPLITx lines are pulses; last-value prediction of a raised
+		// line would hold it high forever, so predict all-low
+		// (Split 0) and absorb one rollback per remote split release.
+		SplitMask: p.remoteSplitMask,
+	}
 
 	grant := p.b.Grant()
 	if !p.b.MasterLocal(grant) {
@@ -144,7 +162,8 @@ func (p *remotePredictor) Predict() (amba.PartialState, DeclineReason) {
 		} else {
 			ap, ok := p.trackers[grant].Predict()
 			if !ok {
-				return amba.PartialState{}, DeclineBurstStart
+				*out = amba.PartialState{}
+				return DeclineBurstStart
 			}
 			out.AP = ap
 		}
@@ -161,7 +180,8 @@ func (p *remotePredictor) Predict() (amba.PartialState, DeclineReason) {
 	dpValid, dpAP, dpMaster, dpSlave := p.b.DataPhase()
 	if dpValid {
 		if dpAP.Write && !p.b.MasterLocal(dpMaster) {
-			return amba.PartialState{}, DeclineWriteData
+			*out = amba.PartialState{}
+			return DeclineWriteData
 		}
 		switch {
 		case dpSlave == bus.DefaultSlaveIndex:
@@ -171,22 +191,29 @@ func (p *remotePredictor) Predict() (amba.PartialState, DeclineReason) {
 			}
 		case !p.b.SlaveLocal(dpSlave):
 			if !dpAP.Write {
-				return amba.PartialState{}, DeclineReadData
+				*out = amba.PartialState{}
+				return DeclineReadData
 			}
 			wm := p.waits[dpSlave]
 			if wm == nil {
-				return amba.PartialState{}, DeclineNoModel
+				*out = amba.PartialState{}
+				return DeclineNoModel
 			}
+			// wm.Predict advances the wait model, so the predictor is
+			// dirty from here on even if no Observe follows.
+			p.dirty = true
 			out.HasReply = true
 			out.Reply = amba.SlaveReply{Ready: wm.Predict(), Resp: amba.RespOkay}
 		}
 	}
-	return out, DeclineNone
+	return DeclineNone
 }
 
 // Observe advances the predictor with the remote contribution and full
-// merged state of a cycle the domain just committed.
-func (p *remotePredictor) Observe(full amba.CycleState, remote amba.PartialState) {
+// merged state of a cycle the domain just committed, both read in
+// place (once per committed cycle; value args showed in profiles).
+func (p *remotePredictor) Observe(full *amba.CycleState, remote *amba.PartialState) {
+	p.dirty = true
 	p.req.Observe(remote.Req & p.remoteReqMask)
 	p.irq.Observe(remote.IRQ & p.remoteIRQMask)
 
@@ -212,7 +239,7 @@ func (p *remotePredictor) Observe(full amba.CycleState, remote amba.PartialState
 	}
 
 	p.lastValid = true
-	p.lastFull = full
+	p.lastFull = *full
 }
 
 // pendingDP* stash the data-phase occupancy of the cycle being
@@ -230,6 +257,7 @@ func (p *remotePredictor) StashDataPhase() {
 	p.pendingDPValid = v
 	p.pendingDPMaster = m
 	p.pendingDPSlave = s
+	p.dirty = true
 }
 
 // PredictStableFor reports for how many upcoming cycles the
@@ -267,15 +295,18 @@ func (p *remotePredictor) PredictStableFor() int64 {
 func (p *remotePredictor) SkipIdle(n int64) {
 	if t := p.trackers[p.b.Grant()]; t != nil {
 		t.SkipIdle(n)
+		p.dirty = true
 	}
 }
 
-// predictorSnap freezes a remotePredictor.
+// predictorSnap freezes a remotePredictor. The request/IRQ last-value
+// predictors are stored inline (no boxing); tracker and wait-model
+// state is boxed per slot, with slots recycled across saves.
 type predictorSnap struct {
-	Req      any
-	IRQ      any
-	Trackers map[int]any
-	Waits    map[int]any
+	Req      uint32
+	IRQ      uint32
+	Trackers []any
+	Waits    []any
 	DefErr   defMirror
 	LastV    bool
 	LastFull amba.CycleState
@@ -286,28 +317,32 @@ type predictorSnap struct {
 func (p *remotePredictor) Save() any { return p.SaveInto(nil) }
 
 // SaveInto implements rollback.InPlaceSnapshotter: the snapshot struct,
-// its maps and the per-tracker state buffers inside them are all
+// its slices and the per-tracker state buffers inside them are all
 // recycled from prev, so the once-per-transition store allocates
 // nothing in the steady state.
 func (p *remotePredictor) SaveInto(prev any) any {
 	s, ok := prev.(*predictorSnap)
 	if !ok {
 		s = &predictorSnap{
-			Trackers: make(map[int]any, len(p.trackers)),
-			Waits:    make(map[int]any, len(p.waits)),
+			Trackers: make([]any, len(p.trackers)),
+			Waits:    make([]any, len(p.waits)),
 		}
 	}
-	s.Req = p.req.SaveInto(s.Req)
-	s.IRQ = p.irq.SaveInto(s.IRQ)
+	s.Req = p.req.Predict()
+	s.IRQ = p.irq.Predict()
 	s.DefErr = p.defErr
 	s.LastV = p.lastValid
 	s.LastFull = p.lastFull
 	s.Pending = p.pendingDP
 	for i, t := range p.trackers {
-		s.Trackers[i] = t.SaveInto(s.Trackers[i])
+		if t != nil {
+			s.Trackers[i] = t.SaveInto(s.Trackers[i])
+		}
 	}
 	for i, w := range p.waits {
-		s.Waits[i] = w.SaveInto(s.Waits[i])
+		if w != nil {
+			s.Waits[i] = w.SaveInto(s.Waits[i])
+		}
 	}
 	return s
 }
@@ -318,16 +353,38 @@ func (p *remotePredictor) Restore(v any) {
 	if !ok {
 		panic(fmt.Sprintf("core: predictor: bad snapshot %T", v))
 	}
-	p.req.Restore(s.Req)
-	p.irq.Restore(s.IRQ)
+	p.req.Observe(s.Req)
+	p.irq.Observe(s.IRQ)
 	for i, t := range p.trackers {
-		t.Restore(s.Trackers[i])
+		if t != nil {
+			t.Restore(s.Trackers[i])
+		}
 	}
 	for i, w := range p.waits {
-		w.Restore(s.Waits[i])
+		if w != nil {
+			w.Restore(s.Waits[i])
+		}
 	}
 	p.defErr = s.DefErr
 	p.lastValid = s.LastV
 	p.lastFull = s.LastFull
 	p.pendingDP = s.Pending
+	p.dirty = true
 }
+
+// Dirty implements rollback.DeltaSnapshotter.
+func (p *remotePredictor) Dirty() bool { return p.dirty }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (p *remotePredictor) MarkClean() { p.dirty = false }
+
+// SaveDelta implements rollback.DeltaSnapshotter. A predictor save is
+// a handful of small value copies once the tracker tables are dense
+// slices, so deltas are self-contained full captures; the delta win is
+// the clean skip (a predictor that only skipped idle cycles with no
+// tracker armed never dirties).
+func (p *remotePredictor) SaveDelta(prev any) any { return p.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (p *remotePredictor) RestoreDelta(newest any) { p.Restore(newest) }

@@ -135,6 +135,14 @@ type TrafficMaster struct {
 
 	st  masterState
 	log []BeatResult
+
+	// dirty tracks mutation since the last MarkClean
+	// (rollback.DeltaSnapshotter). Commit sets it unconditionally (it
+	// always advances bookkeeping); Drive and SkipIdle set it only
+	// when they actually change LastAP or the gap countdown, so an
+	// idle master in a batched stretch stays clean and its snapshot is
+	// skipped.
+	dirty bool
 }
 
 var _ bus.Master = (*TrafficMaster)(nil)
@@ -146,7 +154,7 @@ func NewTrafficMaster(name string, gen Generator, busyEvery int) *TrafficMaster 
 	if gen == nil {
 		panic("ip: nil generator")
 	}
-	m := &TrafficMaster{name: name, gen: gen, busyEvery: busyEvery}
+	m := &TrafficMaster{name: name, gen: gen, busyEvery: busyEvery, dirty: true}
 	m.st.DataBeat = -1
 	m.st.Cur.BusyFor = -1
 	m.st.LastReady = true
@@ -198,9 +206,13 @@ func (m *TrafficMaster) QuiescentCycles() int64 {
 // address phase is the IDLE one Drive would have driven. Callers must
 // keep n <= QuiescentCycles().
 func (m *TrafficMaster) SkipIdle(n int64) {
-	m.st.LastAP = amba.AddrPhase{}
+	if m.st.LastAP != (amba.AddrPhase{}) {
+		m.st.LastAP = amba.AddrPhase{}
+		m.dirty = true
+	}
 	if m.st.Cur.Valid && m.st.Gap > 0 {
 		m.st.Gap -= int(n)
+		m.dirty = true
 	}
 }
 
@@ -260,7 +272,10 @@ func (m *TrafficMaster) Drive() bus.MasterDrive {
 	default:
 		d.AP = amba.AddrPhase{}
 	}
-	m.st.LastAP = d.AP
+	if d.AP != m.st.LastAP {
+		m.st.LastAP = d.AP
+		m.dirty = true
+	}
 	return d
 }
 
@@ -300,6 +315,7 @@ func (m *TrafficMaster) buildAP() amba.AddrPhase {
 
 // Commit implements bus.Master.
 func (m *TrafficMaster) Commit(fb bus.MasterFeedback) {
+	m.dirty = true
 	cur := &m.st.Cur
 
 	if cur.Valid && m.st.Gap > 0 {
@@ -422,9 +438,24 @@ func (m *TrafficMaster) Restore(v any) {
 		panic(fmt.Sprintf("ip: master %s: bad snapshot %T", m.name, v))
 	}
 	m.st = s.St
+	m.dirty = true
 	// The log is append-only; rolling back means truncating to the
 	// recorded length.
 	if m.st.LogLen <= len(m.log) {
 		m.log = m.log[:m.st.LogLen]
 	}
 }
+
+// Dirty implements rollback.DeltaSnapshotter.
+func (m *TrafficMaster) Dirty() bool { return m.dirty }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (m *TrafficMaster) MarkClean() { m.dirty = false }
+
+// SaveDelta implements rollback.DeltaSnapshotter; masterState is one
+// value struct, so deltas are self-contained copies.
+func (m *TrafficMaster) SaveDelta(prev any) any { return m.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (m *TrafficMaster) RestoreDelta(newest any) { m.Restore(newest) }

@@ -20,7 +20,16 @@ const (
 	pageMask  = pageSize - 1
 )
 
-type memPage [pageSize]byte
+// memPage is one 4 KB page plus its dirty mark: stamp equals the
+// memory's current save sequence exactly when the page has already
+// been copy-on-write stashed in the current save interval. The mark is
+// the per-page dirty bitmap of the delta snapshot scheme — each write
+// costs one compare instead of a journal append, and only touched
+// pages are ever copied.
+type memPage struct {
+	data  [pageSize]byte
+	stamp uint64
+}
 
 // Memory is a byte-addressable memory slave with a configurable,
 // deterministic wait-state profile: the first beat of a data-phase
@@ -43,21 +52,39 @@ type Memory struct {
 	writes   int64
 
 	// Journal mode: instead of deep-copying the pages on every Save
-	// (O(footprint)), record an undo entry per overwritten byte and
-	// rewind on Restore (O(bytes written since the save)). The leader
-	// snapshots once per transition, so this is the difference between
-	// O(memory) and O(transition) work per transition on the host.
+	// (O(footprint)), copy-on-write stash the prior content of each
+	// page on its first write of a save interval and rewind on Restore
+	// (O(pages touched since the save)). The leader snapshots once per
+	// transition, so this is the difference between O(memory) and
+	// O(touched pages) work per transition on the host. Saves seal the
+	// interval in O(1).
 	journaling bool
-	journal    []undoByte
+	undo       []pageUndo
+	undoFree   []*memPage
 	saveSeq    uint64
+
+	// mut/savedCtrl/cleanCtrl implement dirty tracking for delta
+	// snapshots: mut is set by any memory write, the ctrl compare
+	// catches wait-state and counter movement.
+	mut       bool
+	savedCtrl memCtrl
+	cleanCtrl bool
 }
 
-// undoByte is one journal entry: the previous content of a byte cell.
-// A byte never written before undoes to zero, which is also what a
-// pristine cell reads, so no existence flag is needed.
-type undoByte struct {
-	Addr amba.Addr
-	Old  byte
+// pageUndo is one copy-on-write stash: the content a page held when
+// the current save interval began.
+type pageUndo struct {
+	key amba.Addr // page key (addr >> pageShift)
+	old *memPage
+}
+
+// memCtrl is the memory's non-page registered state, grouped for
+// compare-on-save dirty tracking.
+type memCtrl struct {
+	WaitLeft int
+	InBurst  bool
+	Reads    int64
+	Writes   int64
 }
 
 // Journaler is implemented by components supporting O(1) snapshots via
@@ -105,7 +132,12 @@ func (s *Memory) pageFor(a amba.Addr, create bool) *memPage {
 }
 
 // Poke writes one byte directly, for test setup.
-func (s *Memory) Poke(a amba.Addr, b byte) { s.pageFor(a, true)[a&pageMask] = b }
+func (s *Memory) Poke(a amba.Addr, b byte) {
+	p := s.pageFor(a, true)
+	s.stash(a, p)
+	s.mut = true
+	p.data[a&pageMask] = b
+}
 
 // Peek reads one byte directly, for test inspection.
 func (s *Memory) Peek(a amba.Addr) byte {
@@ -113,16 +145,18 @@ func (s *Memory) Peek(a amba.Addr) byte {
 	if p == nil {
 		return 0
 	}
-	return p[a&pageMask]
+	return p.data[a&pageMask]
 }
 
 // PokeWord writes a 32-bit word at a word-aligned address.
 func (s *Memory) PokeWord(a amba.Addr, w amba.Word) {
 	a &^= 3
 	p := s.pageFor(a, true)
+	s.stash(a, p)
+	s.mut = true
 	off := a & pageMask
 	for i := 0; i < 4; i++ {
-		p[off+amba.Addr(i)] = byte(w >> (8 * uint(i)))
+		p.data[off+amba.Addr(i)] = byte(w >> (8 * uint(i)))
 	}
 }
 
@@ -136,9 +170,29 @@ func (s *Memory) PeekWord(a amba.Addr) amba.Word {
 	off := a & pageMask
 	var w amba.Word
 	for i := 0; i < 4; i++ {
-		w |= amba.Word(p[off+amba.Addr(i)]) << (8 * uint(i))
+		w |= amba.Word(p.data[off+amba.Addr(i)]) << (8 * uint(i))
 	}
 	return w
+}
+
+// stash copy-on-write saves page p (holding address a) into the
+// current save interval's undo list unless it is already there. It is
+// a no-op outside journal mode or before the first save — writes that
+// can never be rolled across must not grow an unbounded undo list.
+func (s *Memory) stash(a amba.Addr, p *memPage) {
+	if !s.journaling || s.saveSeq == 0 || p.stamp == s.saveSeq {
+		return
+	}
+	var buf *memPage
+	if k := len(s.undoFree); k > 0 {
+		buf = s.undoFree[k-1]
+		s.undoFree = s.undoFree[:k-1]
+	} else {
+		buf = new(memPage)
+	}
+	*buf = *p
+	s.undo = append(s.undo, pageUndo{key: a >> pageShift, old: buf})
+	p.stamp = s.saveSeq
 }
 
 // waits returns the wait-state budget for a new beat.
@@ -177,18 +231,12 @@ func (s *Memory) WriteCommit(ap amba.AddrPhase, wdata amba.Word) {
 	base := ap.Addr &^ 3
 	m := laneMask(ap.Addr, ap.Size)
 	p := s.pageFor(base, true)
+	s.stash(base, p)
+	s.mut = true
 	off := base & pageMask
 	for i := 0; i < 4; i++ {
 		if m&(0xff<<(8*uint(i))) != 0 {
-			idx := off + amba.Addr(i)
-			// Undo entries are recorded only once a Save exists: writes
-			// before the first save can never be rolled across, and a
-			// never-saved memory (the lagger's, in a fixed-leader run)
-			// must not grow an unbounded journal.
-			if s.journaling && s.saveSeq > 0 {
-				s.journal = append(s.journal, undoByte{Addr: base + amba.Addr(i), Old: p[idx]})
-			}
-			p[idx] = byte(wdata >> (8 * uint(i)))
+			p.data[off+amba.Addr(i)] = byte(wdata >> (8 * uint(i)))
 		}
 	}
 }
@@ -196,7 +244,17 @@ func (s *Memory) WriteCommit(ap amba.AddrPhase, wdata amba.Word) {
 // SetJournaling implements Journaler.
 func (s *Memory) SetJournaling(on bool) {
 	s.journaling = on
-	s.journal = s.journal[:0]
+	s.recycleUndo()
+}
+
+// recycleUndo empties the undo list, returning page buffers to the
+// free list.
+func (s *Memory) recycleUndo() {
+	for i := range s.undo {
+		s.undoFree = append(s.undoFree, s.undo[i].old)
+		s.undo[i].old = nil
+	}
+	s.undo = s.undo[:0]
 }
 
 // Commit implements bus.Slave.
@@ -229,9 +287,9 @@ type memorySnap struct {
 func (s *Memory) Save() any { return s.SaveInto(nil) }
 
 // SaveInto implements rollback.InPlaceSnapshotter. In journal mode the
-// save is O(1) and, with a recycled prev, allocation-free; otherwise
-// the byte map is deep-copied into prev's map (cleared first) or a
-// fresh one.
+// save is O(1) — it seals the current copy-on-write interval — and,
+// with a recycled prev, allocation-free; otherwise the page table is
+// deep-copied into prev's map (cleared first) or a fresh one.
 func (s *Memory) SaveInto(prev any) any {
 	snap, ok := prev.(*memorySnap)
 	if !ok {
@@ -242,7 +300,7 @@ func (s *Memory) SaveInto(prev any) any {
 	snap.Reads = s.reads
 	snap.Writes = s.writes
 	if s.journaling {
-		s.journal = s.journal[:0]
+		s.recycleUndo()
 		s.saveSeq++
 		snap.Seq = s.saveSeq
 		snap.Mem = nil
@@ -285,13 +343,14 @@ func (s *Memory) Restore(v any) {
 			panic(fmt.Sprintf("ip: memory %s: journal restore of stale snapshot (seq %d, current %d)",
 				s.name, snap.Seq, s.saveSeq))
 		}
-		for i := len(s.journal) - 1; i >= 0; i-- {
-			u := s.journal[i]
-			// The page exists: the journal entry was recorded by the
-			// write that dirtied it.
-			s.pages[u.Addr>>pageShift][u.Addr&pageMask] = u.Old
+		for i := range s.undo {
+			u := s.undo[i]
+			// The page exists: the stash was recorded by the write that
+			// dirtied it. The copy restores both the content and the
+			// pre-interval stamp.
+			*s.pages[u.key] = *u.old
 		}
-		s.journal = s.journal[:0]
+		s.recycleUndo()
 	} else {
 		copyPages(s.pages, snap.Mem)
 	}
@@ -299,7 +358,36 @@ func (s *Memory) Restore(v any) {
 	s.inBurst = snap.InBurst
 	s.reads = snap.Reads
 	s.writes = snap.Writes
+	s.mut = true
 }
+
+// ctrl groups the non-page registered state for dirty comparison.
+func (s *Memory) ctrl() memCtrl {
+	return memCtrl{WaitLeft: s.waitLeft, InBurst: s.inBurst, Reads: s.reads, Writes: s.writes}
+}
+
+// Dirty implements rollback.DeltaSnapshotter: any write since the last
+// MarkClean (mut), or any wait-state/counter movement (ctrl compare),
+// makes the memory dirty.
+func (s *Memory) Dirty() bool { return s.mut || !s.cleanCtrl || s.ctrl() != s.savedCtrl }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (s *Memory) MarkClean() {
+	s.mut = false
+	s.savedCtrl = s.ctrl()
+	s.cleanCtrl = true
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter. In journal mode a
+// save is already incremental (an O(1) interval seal whose cost was
+// paid page-by-page as writes landed), so the delta is the same
+// record; deltas are restorable newest-only, which Registry.Restore
+// and the seal sequence check both enforce.
+func (s *Memory) SaveDelta(prev any) any { return s.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (s *Memory) RestoreDelta(newest any) { s.Restore(newest) }
 
 // JitterMemory is a memory whose per-beat wait states vary pseudo-
 // randomly in [base, base+spread]. Its latency cannot be tracked by a
@@ -309,6 +397,7 @@ type JitterMemory struct {
 	Memory
 	rng    *rng.Source
 	spread int
+	own    bool // rng consumed since MarkClean (delta dirty tracking)
 }
 
 // NewJitterMemory creates a jittery memory with the given base wait
@@ -326,6 +415,7 @@ func NewJitterMemory(name string, base, spread int, seed uint64) *JitterMemory {
 func (j *JitterMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 	if j.waitLeft < 0 {
 		j.waitLeft = j.firstWait + j.rng.Intn(j.spread+1)
+		j.own = true
 	}
 	return j.Memory.Respond(ap)
 }
@@ -360,7 +450,26 @@ func (j *JitterMemory) Restore(v any) {
 	}
 	j.Memory.Restore(s.Mem)
 	j.rng.Restore(s.Rng)
+	j.own = true
 }
+
+// Dirty implements rollback.DeltaSnapshotter (wrappers must override
+// the embedded Memory's delta methods; see JitterMemory.SaveInto).
+func (j *JitterMemory) Dirty() bool { return j.own || j.Memory.Dirty() }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (j *JitterMemory) MarkClean() {
+	j.own = false
+	j.Memory.MarkClean()
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter: the composed save is
+// already incremental in journal mode (see Memory.SaveDelta).
+func (j *JitterMemory) SaveDelta(prev any) any { return j.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (j *JitterMemory) RestoreDelta(newest any) { j.Restore(newest) }
 
 // ErrorSlave responds to every active beat with a two-cycle ERROR, the
 // behavior of the AHB default slave, packaged as a mappable component.
@@ -421,6 +530,7 @@ type RetryMemory struct {
 	retryPhase int // 0 none, 1 first RETRY cycle issued
 	retryDone  bool
 	retries    int64
+	own        bool // retry bookkeeping moved since MarkClean
 }
 
 var _ bus.Slave = (*RetryMemory)(nil)
@@ -446,6 +556,7 @@ func (r *RetryMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 	if !r.retryDone && (r.beatCount+1)%int64(r.retryEvery) == 0 {
 		r.retries++
 		r.retryPhase = 1
+		r.own = true
 		return amba.SlaveReply{Ready: false, Resp: amba.RespRetry}
 	}
 	return r.Memory.Respond(ap)
@@ -453,6 +564,7 @@ func (r *RetryMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 
 // Commit implements bus.Slave.
 func (r *RetryMemory) Commit(ready bool) {
+	r.own = true
 	if r.retryPhase == 1 {
 		if ready {
 			// RETRY sequence finished; the retried beat will come back
@@ -485,6 +597,7 @@ type SplitMemory struct {
 	countdown     int // -1 idle
 	release       uint32
 	splits        int64
+	own           bool // split bookkeeping moved since MarkClean
 }
 
 var (
@@ -518,6 +631,7 @@ func (s *SplitMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 	if !s.splitDone && (s.beatCount+1)%int64(s.splitEvery) == 0 {
 		s.splits++
 		s.phase = 1
+		s.own = true
 		return amba.SlaveReply{Ready: false, Resp: amba.RespSplit}
 	}
 	return s.Memory.Respond(ap)
@@ -525,6 +639,7 @@ func (s *SplitMemory) Respond(ap amba.AddrPhase) amba.SlaveReply {
 
 // Commit implements bus.Slave.
 func (s *SplitMemory) Commit(ready bool) {
+	s.own = true
 	if s.phase == 1 {
 		if ready {
 			s.phase = 0
@@ -543,6 +658,7 @@ func (s *SplitMemory) Commit(ready bool) {
 func (s *SplitMemory) NotifySplit(master int) {
 	s.pendingMaster = master
 	s.countdown = s.releaseAfter
+	s.own = true
 }
 
 // Tick implements sim.Clocked: the release countdown runs on the target
@@ -553,8 +669,10 @@ func (s *SplitMemory) Tick(int64) {
 	case s.countdown == 0:
 		s.release |= 1 << uint(s.pendingMaster)
 		s.countdown = -1
+		s.own = true
 	default:
 		s.countdown--
+		s.own = true
 	}
 }
 
@@ -577,6 +695,7 @@ func (s *SplitMemory) QuiescentFor() int64 {
 func (s *SplitMemory) SkipQuiescent(n int64) {
 	if s.countdown >= 0 {
 		s.countdown -= int(n)
+		s.own = true
 	}
 }
 
@@ -584,7 +703,10 @@ func (s *SplitMemory) SkipQuiescent(n int64) {
 // the one bus Evaluate of the cycle.
 func (s *SplitMemory) SplitRelease() uint32 {
 	r := s.release
-	s.release = 0
+	if r != 0 {
+		s.release = 0
+		s.own = true
+	}
 	return r
 }
 
@@ -635,7 +757,24 @@ func (s *SplitMemory) Restore(v any) {
 	s.countdown = snap.Countdown
 	s.release = snap.Release
 	s.splits = snap.Splits
+	s.own = true
 }
+
+// Dirty implements rollback.DeltaSnapshotter (wrapper override).
+func (s *SplitMemory) Dirty() bool { return s.own || s.Memory.Dirty() }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (s *SplitMemory) MarkClean() {
+	s.own = false
+	s.Memory.MarkClean()
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter.
+func (s *SplitMemory) SaveDelta(prev any) any { return s.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (s *SplitMemory) RestoreDelta(newest any) { s.Restore(newest) }
 
 // retrySnap composes the memory snapshot with retry bookkeeping.
 type retrySnap struct {
@@ -675,4 +814,21 @@ func (r *RetryMemory) Restore(v any) {
 	r.retryPhase = s.RetryPhase
 	r.retryDone = s.RetryDone
 	r.retries = s.Retries
+	r.own = true
 }
+
+// Dirty implements rollback.DeltaSnapshotter (wrapper override).
+func (r *RetryMemory) Dirty() bool { return r.own || r.Memory.Dirty() }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (r *RetryMemory) MarkClean() {
+	r.own = false
+	r.Memory.MarkClean()
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter.
+func (r *RetryMemory) SaveDelta(prev any) any { return r.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (r *RetryMemory) RestoreDelta(newest any) { r.Restore(newest) }

@@ -1,0 +1,188 @@
+package rollback
+
+import "fmt"
+
+// DeltaSnapshotter is an optional extension of InPlaceSnapshotter for
+// components that track their own dirtiness between captures and can
+// save just the state touched since the previous capture — the
+// incremental state saving of the Time Warp literature, applied to the
+// once-per-transition rb_store.
+//
+// The registry drives the protocol: after every capture (full or
+// delta) it calls MarkClean; Dirty then reports whether any state may
+// have changed since. A clean component is skipped entirely on the
+// next incremental save — its ring entry just points back at the
+// previous capture — and skipped again on restore when it is still
+// clean, because its state provably never moved.
+//
+// SaveDelta captures the state changed since the previous capture,
+// recycling prev exactly like SaveInto. A delta record is restorable
+// only while it is the component's most recent capture, and only
+// through Registry.Restore: the registry walks its ring back across
+// clean entries to the component's newest capture and hands it to
+// RestoreDelta, and the component replays whatever internal undo state
+// the rewind needs (ip.Memory, for example, rewinds the copy-on-write
+// page stash of its current save interval). Components whose whole
+// state is a small value struct simply return a self-contained copy
+// from SaveDelta and restore it directly.
+type DeltaSnapshotter interface {
+	InPlaceSnapshotter
+	// Dirty reports whether state may have changed since the last
+	// MarkClean. False negatives corrupt snapshots; implementations
+	// must err on the side of reporting dirty.
+	Dirty() bool
+	// MarkClean resets dirty tracking. The registry calls it right
+	// after capturing or restoring the component.
+	MarkClean()
+	// SaveDelta captures the state changed since the previous capture
+	// into a delta record, recycling prev (a value previously returned
+	// by SaveDelta of the same component) when possible.
+	SaveDelta(prev any) any
+	// RestoreDelta rewinds the component to newest, its most recent
+	// delta record. The registry guarantees newest-only restore order,
+	// so implementations may rely on internal undo state accumulated
+	// since that capture.
+	RestoreDelta(newest any)
+}
+
+// snapKind classifies one component's entry in a ring slot.
+type snapKind uint8
+
+const (
+	// kindFull is a self-contained capture restorable on its own.
+	kindFull snapKind = iota
+	// kindDelta is an incremental capture; restoring it relies on the
+	// component's newest-only restore contract.
+	kindDelta
+	// kindClean marks a component unchanged since its previous
+	// capture; the entry holds no value (any buffer present is stale
+	// scratch kept for recycling).
+	kindClean
+)
+
+// ringSlot is one incremental save: a kind and value per component.
+type ringSlot struct {
+	kinds []snapKind
+	vals  []any
+}
+
+// SetDeltaCadence configures incremental saving: every k-th
+// SaveIncremental is a full capture of every component (a ring
+// anchor); the k-1 saves between anchors capture only dirty
+// components, as deltas where supported. k <= 1 keeps SaveIncremental
+// byte-equivalent to SaveInto (every save full and self-contained —
+// exactly the pre-delta behavior). Changing the cadence invalidates
+// any snapshot taken earlier.
+func (r *Registry) SetDeltaCadence(k int) {
+	if k < 1 {
+		k = 1
+	}
+	r.cadence = k
+	r.ring = nil
+	r.pos = -1
+}
+
+// DeltaCadence returns the configured cadence (0 or 1 = full saves).
+func (r *Registry) DeltaCadence() int { return r.cadence }
+
+// ensureRing (re)builds the ring buffers for the current component
+// set. Saves are the cheap path; this runs once per topology.
+func (r *Registry) ensureRing() {
+	if len(r.ring) == r.cadence && len(r.ring[0].kinds) == len(r.snaps) {
+		return
+	}
+	r.ring = make([]ringSlot, r.cadence)
+	for i := range r.ring {
+		r.ring[i] = ringSlot{
+			kinds: make([]snapKind, len(r.snaps)),
+			vals:  make([]any, len(r.snaps)),
+		}
+	}
+	r.lastCap = make([]int, len(r.snaps))
+	r.pos = -1
+}
+
+// SaveIncremental captures every registered component into dst under
+// the configured delta cadence. At an anchor (the first save, and
+// every cadence-th save after) every component is captured in full; in
+// between, clean components are skipped entirely and dirty
+// DeltaSnapshotters record deltas. dst becomes a handle into the
+// registry's ring: only the most recent incremental snapshot is
+// restorable — the same single-live-snapshot discipline SaveInto
+// documents, now enforced. The modeled cost of a store is charged by
+// the caller and does not depend on what the host copies here.
+func (r *Registry) SaveIncremental(dst *Snapshot) {
+	if r.cadence <= 1 {
+		r.SaveInto(dst)
+		return
+	}
+	r.ensureRing()
+	if r.pos < 0 || r.pos == r.cadence-1 {
+		r.pos = 0
+	} else {
+		r.pos++
+	}
+	slot := &r.ring[r.pos]
+	anchor := r.pos == 0
+	for i := range r.snaps {
+		e := &r.snaps[i]
+		switch {
+		case anchor || e.ds == nil:
+			if e.ips != nil {
+				slot.vals[i] = e.ips.SaveInto(slot.vals[i])
+			} else {
+				slot.vals[i] = e.s.Save()
+			}
+			slot.kinds[i] = kindFull
+			r.lastCap[i] = r.pos
+		case !e.ds.Dirty():
+			slot.kinds[i] = kindClean
+		default:
+			slot.vals[i] = e.ds.SaveDelta(slot.vals[i])
+			slot.kinds[i] = kindDelta
+			r.lastCap[i] = r.pos
+		}
+		if e.ds != nil {
+			e.ds.MarkClean()
+		}
+	}
+	r.seq++
+	dst.values = nil
+	dst.n = len(r.snaps)
+	dst.reg = r
+	dst.seq = r.seq
+}
+
+// restoreIncremental rewinds every component to the ring snapshot s:
+// for each component it walks back across clean entries (via the
+// maintained last-capture index) to the newest real capture —
+// ultimately the full anchor — and reapplies it, skipping components
+// that provably never moved since the save.
+func (r *Registry) restoreIncremental(s Snapshot) {
+	if s.reg != r {
+		panic("rollback: incremental snapshot restored into a foreign registry")
+	}
+	if s.n != len(r.snaps) {
+		panic(fmt.Sprintf("rollback: snapshot of %d components restored into %d", s.n, len(r.snaps)))
+	}
+	if s.seq != r.seq {
+		panic(fmt.Sprintf("rollback: incremental snapshot %d is stale (latest %d); only the most recent is restorable", s.seq, r.seq))
+	}
+	for i := range r.snaps {
+		e := &r.snaps[i]
+		if e.ds != nil && !e.ds.Dirty() {
+			// Untouched since the capture: the state never moved.
+			continue
+		}
+		p := r.lastCap[i]
+		slot := &r.ring[p]
+		if slot.kinds[i] == kindDelta {
+			e.ds.RestoreDelta(slot.vals[i])
+		} else {
+			e.s.Restore(slot.vals[i])
+		}
+		if e.ds != nil {
+			e.ds.MarkClean()
+		}
+	}
+}

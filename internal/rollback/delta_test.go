@@ -1,0 +1,195 @@
+package rollback
+
+import "testing"
+
+// deltaComp is a DeltaSnapshotter test double: an integer state with
+// call counters proving which capture path the registry took.
+type deltaComp struct {
+	v     int
+	dirty bool
+
+	fullSaves  int
+	deltaSaves int
+	restores   int
+}
+
+func (c *deltaComp) set(v int) {
+	c.v = v
+	c.dirty = true
+}
+
+func (c *deltaComp) Save() any { return c.SaveInto(nil) }
+
+func (c *deltaComp) SaveInto(prev any) any {
+	c.fullSaves++
+	p, ok := prev.(*int)
+	if !ok {
+		p = new(int)
+	}
+	*p = c.v
+	return p
+}
+
+func (c *deltaComp) Restore(v any) {
+	c.restores++
+	c.v = *v.(*int)
+	c.dirty = true
+}
+
+func (c *deltaComp) Dirty() bool { return c.dirty }
+func (c *deltaComp) MarkClean()  { c.dirty = false }
+func (c *deltaComp) SaveDelta(prev any) any {
+	c.deltaSaves++
+	p, ok := prev.(*int)
+	if !ok {
+		p = new(int)
+	}
+	*p = c.v
+	return p
+}
+func (c *deltaComp) RestoreDelta(newest any) { c.Restore(newest) }
+
+// plainComp implements only Snapshotter: the registry must capture it
+// in full on every incremental save.
+type plainComp struct {
+	v     int
+	saves int
+}
+
+func (c *plainComp) Save() any {
+	c.saves++
+	return c.v
+}
+func (c *plainComp) Restore(v any) { c.v = v.(int) }
+
+func TestIncrementalCadenceAndCleanSkip(t *testing.T) {
+	var r Registry
+	d := &deltaComp{dirty: true}
+	p := &plainComp{}
+	r.Register("d", d, 1)
+	r.Register("p", p, 1)
+	r.SetDeltaCadence(4)
+
+	var s Snapshot
+	// Save 1: anchor — full capture for both components.
+	r.SaveIncremental(&s)
+	if d.fullSaves != 1 || d.deltaSaves != 0 {
+		t.Fatalf("anchor: %d full / %d delta saves", d.fullSaves, d.deltaSaves)
+	}
+	// Save 2: d untouched — clean skip; plain component saved anyway.
+	r.SaveIncremental(&s)
+	if d.fullSaves != 1 || d.deltaSaves != 0 {
+		t.Fatalf("clean save still captured: %d full / %d delta", d.fullSaves, d.deltaSaves)
+	}
+	if p.saves != 2 {
+		t.Fatalf("plain component saved %d times, want every save", p.saves)
+	}
+	// Save 3: d dirty — delta capture.
+	d.set(7)
+	r.SaveIncremental(&s)
+	if d.deltaSaves != 1 {
+		t.Fatalf("dirty save took no delta (%d)", d.deltaSaves)
+	}
+	// Save 4 is the cadence-4 ring's last slot; save 5 must re-anchor.
+	r.SaveIncremental(&s)
+	d.set(9)
+	r.SaveIncremental(&s)
+	if d.fullSaves != 2 {
+		t.Fatalf("no re-anchor after a full ring (%d full saves)", d.fullSaves)
+	}
+}
+
+func TestIncrementalRestoreWalksToNewestCapture(t *testing.T) {
+	var r Registry
+	d := &deltaComp{dirty: true}
+	r.Register("d", d, 1)
+	r.SetDeltaCadence(8)
+
+	var s Snapshot
+	d.set(1)
+	r.SaveIncremental(&s) // anchor: captures 1
+	d.set(2)
+	r.SaveIncremental(&s) // delta: captures 2
+	r.SaveIncremental(&s) // clean
+	r.SaveIncremental(&s) // clean
+	d.set(99)             // post-save mutation to roll back
+	r.Restore(s)
+	if d.v != 2 {
+		t.Fatalf("restored %d, want 2 (the newest capture behind the clean entries)", d.v)
+	}
+	if d.restores != 1 {
+		t.Fatalf("%d restores, want 1", d.restores)
+	}
+}
+
+func TestIncrementalRestoreSkipsUntouched(t *testing.T) {
+	var r Registry
+	d := &deltaComp{dirty: true}
+	r.Register("d", d, 1)
+	r.SetDeltaCadence(4)
+
+	var s Snapshot
+	d.set(5)
+	r.SaveIncremental(&s)
+	r.Restore(s) // nothing moved since the save
+	if d.restores != 0 {
+		t.Fatalf("untouched component was restored %d times", d.restores)
+	}
+	if d.v != 5 {
+		t.Fatalf("state moved to %d", d.v)
+	}
+}
+
+func TestIncrementalStaleRestorePanics(t *testing.T) {
+	var r Registry
+	d := &deltaComp{dirty: true}
+	r.Register("d", d, 1)
+	r.SetDeltaCadence(4)
+
+	var old, cur Snapshot
+	r.SaveIncremental(&old)
+	r.SaveIncremental(&cur)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale incremental restore must panic")
+		}
+	}()
+	r.Restore(old)
+}
+
+func TestIncrementalForeignRegistryPanics(t *testing.T) {
+	var r1, r2 Registry
+	r1.Register("d", &deltaComp{}, 1)
+	r2.Register("d", &deltaComp{}, 1)
+	r1.SetDeltaCadence(4)
+	r2.SetDeltaCadence(4)
+	var s Snapshot
+	r1.SaveIncremental(&s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign-registry restore must panic")
+		}
+	}()
+	r2.Restore(s)
+}
+
+func TestCadenceOneIsFullSaves(t *testing.T) {
+	var r Registry
+	d := &deltaComp{dirty: true}
+	r.Register("d", d, 1)
+	r.SetDeltaCadence(1)
+
+	var s Snapshot
+	r.SaveIncremental(&s)
+	r.SaveIncremental(&s)
+	if d.deltaSaves != 0 || d.fullSaves != 2 {
+		t.Fatalf("cadence 1 took %d delta / %d full saves, want all full", d.deltaSaves, d.fullSaves)
+	}
+	// The snapshot is self-contained (no ring handle): restorable via
+	// the legacy path.
+	d.set(3)
+	r.Restore(s)
+	if d.v != 0 {
+		t.Fatalf("restored %d, want the saved 0", d.v)
+	}
+}

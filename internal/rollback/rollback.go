@@ -88,18 +88,37 @@ func SoftwareCost() CostModel {
 type Registry struct {
 	snaps []entry
 	vars  int
+
+	// Incremental (delta) saving state; see SetDeltaCadence. cadence
+	// 0/1 keeps every save full. The ring holds the last saves since
+	// the anchor (slot 0, always a full capture); pos is the most
+	// recent slot, seq the save sequence number handles are checked
+	// against.
+	cadence int
+	ring    []ringSlot
+	pos     int
+	seq     uint64
+	lastCap []int // per component: ring slot of its newest capture
 }
 
 type entry struct {
 	name string
 	s    Snapshotter
 	ips  InPlaceSnapshotter // non-nil when s supports in-place saves
+	ds   DeltaSnapshotter   // non-nil when s supports delta saves
 }
 
-// Snapshot is an atomic capture of a whole Registry.
+// Snapshot is an atomic capture of a whole Registry. Snapshots from
+// Save/SaveInto are self-contained; snapshots from SaveIncremental are
+// handles into the registry's delta ring, restorable only while they
+// are the registry's most recent save.
 type Snapshot struct {
 	values []any
 	n      int // number of snapshotters at capture time
+
+	// reg/seq identify a ring handle (reg nil for self-contained).
+	reg *Registry
+	seq uint64
 }
 
 // Register adds a snapshotter under a diagnostic name. The extra
@@ -113,7 +132,8 @@ func (r *Registry) Register(name string, s Snapshotter, vars int) {
 		panic(fmt.Sprintf("rollback: negative var count for %q", name))
 	}
 	ips, _ := s.(InPlaceSnapshotter)
-	r.snaps = append(r.snaps, entry{name, s, ips})
+	ds, _ := s.(DeltaSnapshotter)
+	r.snaps = append(r.snaps, entry{name, s, ips, ds})
 	r.vars += vars
 }
 
@@ -144,6 +164,8 @@ func (r *Registry) SaveInto(dst *Snapshot) {
 	}
 	dst.values = dst.values[:len(r.snaps)]
 	dst.n = len(r.snaps)
+	dst.reg = nil
+	dst.seq = 0
 	for i, e := range r.snaps {
 		if e.ips != nil {
 			dst.values[i] = e.ips.SaveInto(dst.values[i])
@@ -156,7 +178,14 @@ func (r *Registry) SaveInto(dst *Snapshot) {
 // Restore rewinds every registered component to the snapshot. Restoring
 // a snapshot taken with a different component set panics: it means the
 // engine rolled across a topology change, which the scheme forbids.
+// Ring snapshots (SaveIncremental) dispatch to the delta-aware path,
+// which walks back to the nearest full capture and replays deltas
+// forward.
 func (r *Registry) Restore(s Snapshot) {
+	if s.reg != nil {
+		r.restoreIncremental(s)
+		return
+	}
 	if s.n != len(r.snaps) {
 		panic(fmt.Sprintf("rollback: snapshot of %d components restored into %d", s.n, len(r.snaps)))
 	}

@@ -52,6 +52,11 @@ type Quiescible interface {
 // components.
 type Clock struct {
 	cycle int64
+
+	// saved/clean implement compare-on-save dirty tracking
+	// (rollback.DeltaSnapshotter) with zero cost on the Advance path.
+	saved int64
+	clean bool
 }
 
 // Now returns the number of completed cycles.
@@ -96,6 +101,24 @@ func (c *Clock) Restore(s any) {
 	}
 	c.cycle = *v
 }
+
+// Dirty implements rollback.DeltaSnapshotter: the clock changed iff it
+// advanced past the last MarkClean point.
+func (c *Clock) Dirty() bool { return !c.clean || c.cycle != c.saved }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (c *Clock) MarkClean() {
+	c.saved = c.cycle
+	c.clean = true
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter. The clock's whole
+// state is one counter, so the delta is a self-contained copy.
+func (c *Clock) SaveDelta(prev any) any { return c.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (c *Clock) RestoreDelta(newest any) { c.Restore(newest) }
 
 // Reset implements Resettable.
 func (c *Clock) Reset() { c.cycle = 0 }

@@ -172,6 +172,11 @@ type Run struct {
 	// for every setting). 0 selects the engine default (64); 1
 	// disables batching.
 	CycleBatch int `json:"cycle_batch,omitempty"`
+	// DeltaCadence sets the incremental-snapshot cadence of the
+	// rollback store (host-side fast path; modeled metrics are
+	// bit-identical for every setting). 0 selects the engine default
+	// (16); 1 forces full snapshots every transition.
+	DeltaCadence int `json:"delta_cadence,omitempty"`
 
 	PredictIdle        bool    `json:"predict_idle,omitempty"`
 	PredictBurstStarts bool    `json:"predict_burst_starts,omitempty"`
@@ -312,7 +317,7 @@ func (s *Spec) Validate() error {
 	if r.Cycles <= 0 {
 		return fmt.Errorf("spec: run.cycles must be positive, got %d", r.Cycles)
 	}
-	if r.SimSpeed < 0 || r.AccSpeed < 0 || r.LOBDepth < 0 || r.RollbackVars < 0 || r.CycleBatch < 0 {
+	if r.SimSpeed < 0 || r.AccSpeed < 0 || r.LOBDepth < 0 || r.RollbackVars < 0 || r.CycleBatch < 0 || r.DeltaCadence < 0 {
 		return fmt.Errorf("spec: negative run parameter")
 	}
 	if r.Accuracy < 0 || r.Accuracy > 1 {
@@ -368,6 +373,9 @@ func (s *Spec) Normalized() (*Spec, error) {
 	if r.CycleBatch == 0 {
 		r.CycleBatch = core.DefaultCycleBatch
 	}
+	if r.DeltaCadence == 0 {
+		r.DeltaCadence = core.DefaultDeltaCadence
+	}
 	if r.Accuracy == 0 {
 		r.Accuracy = 1
 	}
@@ -396,11 +404,17 @@ func (s *Spec) CanonicalHash() (string, error) {
 		return "", err
 	}
 	n.Name = ""
-	// CycleBatch is a host-side knob: the engine's batching fast path
-	// produces bit-identical reports at every setting (pinned by the
-	// batch differential tests), so it must not split the result
-	// cache. Hash the canonical default instead of the user's value.
+	// CycleBatch and DeltaCadence are host-side knobs: the engine's
+	// batching fast path and delta-snapshot ring produce bit-identical
+	// reports at every setting (pinned by the batch and delta
+	// differential tests), so they must not split the result cache.
+	// CycleBatch hashes as its canonical default (it has been part of
+	// the canonical encoding since it existed); DeltaCadence hashes as
+	// absent (zero + omitempty), so canonical hashes — and with them
+	// every entry of a pre-existing persistent store — are unchanged
+	// from before the knob existed.
 	n.Run.CycleBatch = core.DefaultCycleBatch
+	n.Run.DeltaCadence = 0
 	b, err := json.Marshal(n)
 	if err != nil {
 		return "", fmt.Errorf("spec: canonical encode: %w", err)

@@ -305,3 +305,43 @@ func TestCycleBatchNormalizationAndHash(t *testing.T) {
 		t.Fatal("negative cycle_batch validated")
 	}
 }
+
+func TestDeltaCadenceNormalizationAndHash(t *testing.T) {
+	// Omitted delta_cadence normalizes to the engine default.
+	s := parseOK(t, streamSpecJSON)
+	n, err := s.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Run.DeltaCadence != 16 {
+		t.Fatalf("normalized delta_cadence = %d, want 16", n.Run.DeltaCadence)
+	}
+	// The knob is host-side only: reports are bit-identical at every
+	// cadence, so it must not split the result cache — and it hashes
+	// as absent, so canonical hashes (and pre-existing store entries)
+	// are unchanged from before the knob existed.
+	h0, _ := s.CanonicalHash()
+	s1 := parseOK(t, streamSpecJSON)
+	s1.Run.DeltaCadence = 1
+	h1, err := s1.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h0 {
+		t.Fatal("delta_cadence changed the canonical hash")
+	}
+	// But it still reaches the compiled engine config.
+	_, cfg, err := s1.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DeltaCadence != 1 {
+		t.Fatalf("compiled DeltaCadence = %d, want 1", cfg.DeltaCadence)
+	}
+	// Negative values are rejected.
+	bad := parseOK(t, streamSpecJSON)
+	bad.Run.DeltaCadence = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative delta_cadence validated")
+	}
+}

@@ -44,34 +44,44 @@ type Options struct {
 	// used entries are evicted past it. 0 selects DefaultMaxEntries;
 	// negative means unbounded.
 	MaxEntries int
+	// MaxBytes bounds the total size of stored payloads on disk; the
+	// least recently used entries are evicted until the total fits.
+	// 0 or negative means unbounded (the entry bound still applies).
+	// Sizes count payload bytes (file contents), not filesystem
+	// block or inode overhead.
+	MaxBytes int64
 }
 
 // Stats is a point-in-time snapshot of the store's counters. Hits and
 // misses count Get outcomes, Puts successful writes, Evictions entries
-// removed by the LRU bound.
+// removed by the LRU bounds (entry count or total bytes).
 type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
 }
 
 // Store is a content-addressed on-disk result store. All methods are
 // safe for concurrent use.
 type Store struct {
-	dir string
-	max int
+	dir      string
+	max      int
+	maxBytes int64
 
 	mu    sync.Mutex
 	byKey map[string]*entry
 	order []*entry // index 0 = least recently used
+	bytes int64    // total payload bytes of indexed entries
 	stats Stats
 }
 
-// entry tracks one stored key and its recency rank.
+// entry tracks one stored key with its payload size and recency rank.
 type entry struct {
 	key  string
+	size int64
 	used time.Time
 }
 
@@ -91,7 +101,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, max: max, byKey: make(map[string]*entry)}
+	s := &Store{dir: dir, max: max, maxBytes: opts.MaxBytes, byKey: make(map[string]*entry)}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return nil //nolint:nilerr // skip unreadable subtrees, index the rest
@@ -104,9 +114,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil
 		}
-		e := &entry{key: key, used: info.ModTime()}
+		e := &entry{key: key, size: info.Size(), used: info.ModTime()}
 		s.byKey[key] = e
 		s.order = append(s.order, e)
+		s.bytes += e.size
 		return nil
 	})
 	if err != nil {
@@ -144,22 +155,48 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	if !indexed {
-		e = &entry{key: key}
+		if s.maxBytes > 0 && int64(len(data)) > s.maxBytes {
+			// A sibling (with a different budget) wrote a payload larger
+			// than this store's whole byte bound: serve it but do not
+			// adopt it — indexing it would evict every other entry, the
+			// same wipe Put's admission guard prevents.
+			s.stats.Hits++
+			return data, true
+		}
+		e = &entry{key: key, size: int64(len(data))}
 		s.byKey[key] = e
 		s.order = append(s.order, e)
+		s.bytes += e.size
 	}
 	s.touchLocked(e)
 	s.stats.Hits++
+	if !indexed {
+		// Disk-probe adoption (a sibling process wrote the entry) must
+		// enforce the bounds too, or a store-hit-only workload never
+		// trims the directory back under budget.
+		s.evictLocked()
+	}
 	return data, true
 }
 
 // Put stores data under key, atomically, and marks the entry most
 // recently used. Storing an existing key refreshes its recency (the
 // content is already equal by construction: keys are content
-// addresses).
+// addresses). A payload larger than the whole byte budget is not
+// admitted at all — admitting it would evict every other entry and
+// still leave the store over budget.
 func (s *Store) Put(key string, data []byte) error {
 	if !validKey(key) {
 		return ErrBadKey
+	}
+	if s.maxBytes > 0 && int64(len(data)) > s.maxBytes {
+		s.mu.Lock()
+		if e, ok := s.byKey[key]; ok {
+			s.dropLocked(e)
+			_ = os.Remove(s.path(key))
+		}
+		s.mu.Unlock()
+		return nil
 	}
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -191,10 +228,19 @@ func (s *Store) Put(key string, data []byte) error {
 		s.byKey[key] = e
 		s.order = append(s.order, e)
 	}
+	s.bytes += int64(len(data)) - e.size
+	e.size = int64(len(data))
 	s.touchLocked(e)
 	s.stats.Puts++
 	s.evictLocked()
 	return nil
+}
+
+// Bytes returns the total payload bytes of indexed entries.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
 }
 
 // Len returns the number of indexed entries.
@@ -210,6 +256,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = len(s.byKey)
+	st.Bytes = s.bytes
 	return st
 }
 
@@ -236,6 +283,7 @@ func (s *Store) touchLocked(e *entry) {
 // dropLocked removes e from the index without touching the disk.
 func (s *Store) dropLocked(e *entry) {
 	delete(s.byKey, e.key)
+	s.bytes -= e.size
 	for i, o := range s.order {
 		if o == e {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -244,16 +292,20 @@ func (s *Store) dropLocked(e *entry) {
 	}
 }
 
-// evictLocked enforces the entry bound, deleting the least recently
-// used files.
+// evictLocked enforces the entry and byte bounds, deleting the least
+// recently used files until both fit.
 func (s *Store) evictLocked() {
-	if s.max < 0 {
-		return
+	over := func() bool {
+		if s.max >= 0 && len(s.order) > s.max {
+			return true
+		}
+		return s.maxBytes > 0 && s.bytes > s.maxBytes && len(s.order) > 0
 	}
-	for len(s.order) > s.max {
+	for over() {
 		victim := s.order[0]
 		s.order = s.order[1:]
 		delete(s.byKey, victim.key)
+		s.bytes -= victim.size
 		_ = os.Remove(s.path(victim.key))
 		s.stats.Evictions++
 	}

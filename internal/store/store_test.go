@@ -214,3 +214,140 @@ func TestConcurrentPutGet(t *testing.T) {
 		}
 	}
 }
+
+func TestByteBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxEntries: -1, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 40)
+	for i, label := range []string{"a", "b", "c"} {
+		if err := s.Put(key(label), payload); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the LRU order is unambiguous on coarse
+		// filesystem clocks.
+		past := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(filepath.Join(dir, key(label)[:2], key(label)+".json"), past, past)
+		e := s.byKey[key(label)]
+		e.used = past
+	}
+	// 3x40 = 120 > 100: "a" (least recently used) must have been
+	// evicted by the third Put.
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("byte bound did not evict the LRU entry")
+	}
+	if _, ok := s.Get(key("b")); !ok {
+		t.Fatal("byte bound evicted more than needed")
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries / 80 bytes / 1 eviction", st)
+	}
+}
+
+func TestByteBoundAdoptedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"x", "y", "z"} {
+		if err := s.Put(key(label), make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Bytes(); got != 120 {
+		t.Fatalf("bytes = %d, want 120", got)
+	}
+	// Reopening with a byte bound trims adopted entries down to it.
+	s2, err := Open(dir, Options{MaxEntries: -1, MaxBytes: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 || s2.Bytes() != 80 {
+		t.Fatalf("reopened: %d entries, %d bytes; want 2/80", s2.Len(), s2.Bytes())
+	}
+	// Adoption trimming is not counted as an eviction, matching the
+	// entry-bound behavior.
+	if ev := s2.Stats().Evictions; ev != 0 {
+		t.Fatalf("adoption trimming counted %d evictions", ev)
+	}
+}
+
+func TestOversizedPutNotAdmitted(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxEntries: -1, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("small"), make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// A payload over the whole budget must not wipe the store to make
+	// room for itself.
+	if err := s.Put(key("huge"), make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key("huge")); ok {
+		t.Fatal("oversized payload was admitted")
+	}
+	if _, ok := s.Get(key("small")); !ok {
+		t.Fatal("oversized put evicted an unrelated entry")
+	}
+}
+
+func TestGetAdoptionEnforcesByteBound(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir, Options{MaxEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := Open(dir, Options{MaxEntries: -1, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sibling process fills the directory past the reader's budget;
+	// the reader adopts entries through Get hits and must trim.
+	for i, label := range []string{"a", "b", "c"} {
+		if err := writer.Put(key(label), make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := reader.Get(key(label)); !ok {
+			t.Fatalf("reader missed sibling entry %d", i)
+		}
+	}
+	if b := reader.Bytes(); b > 100 {
+		t.Fatalf("reader index holds %d bytes, over its 100-byte budget", b)
+	}
+}
+
+func TestGetDoesNotAdoptOversizedSiblingEntry(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir, Options{MaxEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := Open(dir, Options{MaxEntries: -1, MaxBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Put(key("mine"), make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	// The sibling (unbounded) writes an entry over the reader's whole
+	// budget: the reader must serve it without adopting it — adoption
+	// would evict everything else.
+	if err := writer.Put(key("huge"), make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := reader.Get(key("huge")); !ok || len(data) != 200 {
+		t.Fatalf("sibling entry not served (%d bytes, ok=%v)", len(data), ok)
+	}
+	if _, ok := reader.Get(key("mine")); !ok {
+		t.Fatal("serving an oversized sibling entry evicted an unrelated entry")
+	}
+	if b := reader.Bytes(); b != 40 {
+		t.Fatalf("reader indexed %d bytes, want 40 (oversized entry unindexed)", b)
+	}
+}

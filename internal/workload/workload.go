@@ -177,8 +177,10 @@ type Stream struct {
 	gap   int
 	max   int64 // 0 = unbounded
 
-	st   streamState
-	pool dataPool
+	st    streamState
+	pool  dataPool
+	saved streamState // compare-on-save dirty tracking
+	clean bool
 }
 
 type streamState struct {
@@ -256,6 +258,24 @@ func (s *Stream) Restore(v any) {
 	s.pool.restored(s.st.Issued)
 }
 
+// Dirty implements rollback.DeltaSnapshotter: the stream changed iff a
+// transfer was issued since the last MarkClean.
+func (s *Stream) Dirty() bool { return !s.clean || s.st != s.saved }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (s *Stream) MarkClean() {
+	s.saved = s.st
+	s.clean = true
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter; the cursor triple is
+// small, so deltas are self-contained copies.
+func (s *Stream) SaveDelta(prev any) any { return s.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (s *Stream) RestoreDelta(newest any) { s.Restore(newest) }
+
 // DMACopy alternates read bursts from a source window with write bursts
 // of the same data... of a deterministic pattern into a destination
 // window, modeling a DMA engine moving a frame between memories.
@@ -265,8 +285,10 @@ type DMACopy struct {
 	gap      int
 	max      int64
 
-	st   dmaState
-	pool dataPool
+	st    dmaState
+	pool  dataPool
+	saved dmaState // compare-on-save dirty tracking
+	clean bool
 }
 
 type dmaState struct {
@@ -344,6 +366,23 @@ func (d *DMACopy) Restore(v any) {
 	d.st = *st
 	d.pool.restored(d.st.Issued)
 }
+
+// Dirty implements rollback.DeltaSnapshotter.
+func (d *DMACopy) Dirty() bool { return !d.clean || d.st != d.saved }
+
+// MarkClean implements rollback.DeltaSnapshotter.
+func (d *DMACopy) MarkClean() {
+	d.saved = d.st
+	d.clean = true
+}
+
+// SaveDelta implements rollback.DeltaSnapshotter; the cursor state is
+// small, so deltas are self-contained copies.
+func (d *DMACopy) SaveDelta(prev any) any { return d.SaveInto(prev) }
+
+// RestoreDelta implements rollback.DeltaSnapshotter: delta records
+// are restorable as-is (newest-only, which the registry enforces).
+func (d *DMACopy) RestoreDelta(newest any) { d.Restore(newest) }
 
 // CPU emits randomized single transfers and short bursts across a set of
 // windows with random idle gaps — the bursty, direction-mixed traffic
