@@ -30,7 +30,21 @@
 //	                            one NDJSON result line per point in
 //	                            point order plus a final aggregate line.
 //	GET    /v1/stats            worker/cache/store/sweep counters.
+//	GET    /v1/healthz          readiness: {ok, queue, queue_capacity,
+//	                            saturated}. ok goes false (HTTP 503)
+//	                            while the worker queue is saturated.
 //	GET    /healthz             liveness.
+//
+// Overload is shed rather than queued without bound: when the worker
+// queue is full, submissions fail with 503 and a Retry-After hint, and
+// /v1/sweep rejects new sweeps while saturated — resilient clients
+// (cmd/sweep -remote, internal/sweepclient) back off and fail over.
+//
+// With -fault-plan plan.json, a seeded fault-injection plan (see
+// internal/faultplan) is armed daemon-wide for chaos testing: worker
+// panics and slow runs at the service layer, write errors and torn
+// writes at the store, packet duplication/corruption/delay on every
+// job's channel. All injection is off without the flag.
 package main
 
 import (
@@ -49,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"coemu/internal/faultplan"
 	"coemu/internal/service"
 	"coemu/internal/spec"
 	"coemu/internal/store"
@@ -64,11 +79,26 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory (empty disables)")
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "persistent store entry bound (negative = unbounded)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store disk-byte bound (0 = unbounded)")
+	faultPlanPath := flag.String("fault-plan", "", "seeded fault-injection plan JSON (see internal/faultplan); injection off when empty")
 	flag.Parse()
 
-	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: log.Printf}
+	var plan *faultplan.Plan
+	if *faultPlanPath != "" {
+		p, err := faultplan.Load(*faultPlanPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = p
+		log.Printf("fault plan armed from %s (seed %d)", *faultPlanPath, plan.Seed)
+	}
+
+	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: log.Printf, Faults: plan}
 	if *storeDir != "" {
-		disk, err := store.Open(*storeDir, store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes})
+		storeOpts := store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes}
+		if plan != nil {
+			storeOpts.Faults, storeOpts.FaultSeed = plan.Store, plan.Seed
+		}
+		disk, err := store.Open(*storeDir, storeOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,6 +151,22 @@ func newMux(svc *service.Service, maxBody int64, sweepMax int) *http.ServeMux {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		pending, capacity := svc.QueueDepth()
+		saturated := svc.Saturated()
+		status := http.StatusOK
+		if saturated {
+			w.Header().Set("Retry-After", retryAfter)
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{
+			"ok":             !saturated,
+			"queue":          pending,
+			"queue_capacity": capacity,
+			"saturated":      saturated,
+		})
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -196,6 +242,15 @@ func newMux(svc *service.Service, maxBody int64, sweepMax int) *http.ServeMux {
 	})
 
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		// Shed new sweeps while the worker queue is saturated: one
+		// sweep fans out many jobs, and rejecting it up front with a
+		// Retry-After hint lets a resilient client back off or fail
+		// over instead of stalling mid-stream on a full queue.
+		if svc.Saturated() {
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, http.StatusServiceUnavailable, service.ErrQueueFull)
+			return
+		}
 		body, ok := readRaw(w, r, maxBody)
 		if !ok {
 			return
@@ -320,10 +375,18 @@ func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec
 	return sp, true
 }
 
-// writeSubmitError maps Submit failures to HTTP statuses.
+// retryAfter is the Retry-After hint (in seconds) sent with every
+// load-shedding 503: long enough for a queue slot to free, short
+// enough that failover clients reprobe promptly.
+const retryAfter = "1"
+
+// writeSubmitError maps Submit failures to HTTP statuses. Queue-full
+// rejections carry a Retry-After hint so well-behaved clients back off
+// instead of hammering a saturated daemon.
 func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfter)
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, service.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)

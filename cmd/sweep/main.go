@@ -18,32 +18,36 @@
 // final aggregate line — the same wire format coemud's /v1/sweep
 // serves, byte-identical line for line.
 //
-// With -remote http://host:8080, runs are not executed in this
-// process: grid mode posts the document to the daemon's /v1/sweep, and
-// the DES CSV sweeps (which then require -spec) submit their points as
-// a spec batch — sharing the daemon's worker pool, result cache and
-// persistent store with every other client.
+// With -remote http://host:8080[,http://host2:8080], runs are not
+// executed in this process: grid mode expands the document locally and
+// submits the points to the daemons' /v1/sweep, and the DES CSV sweeps
+// (which then require -spec) submit their points as a spec batch —
+// sharing the daemons' worker pools, result caches and persistent
+// store with every other client. Remote submission is resilient:
+// transient failures retry with exponential backoff (-retries bounds
+// the budget), a comma-separated -remote list fails over between
+// daemons, and a sweep cut mid-stream resumes by re-submitting only
+// the missing points (see internal/sweepclient).
 package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
-	"time"
 
 	"coemu"
 	"coemu/internal/perfmodel"
 	"coemu/internal/service"
 	"coemu/internal/spec"
+	"coemu/internal/sweepclient"
 )
 
 // jobs is the DES worker-pool width (the -j flag).
@@ -63,15 +67,17 @@ func main() {
 	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
 	specPath := flag.String("spec", "", "sweep a declarative JSON spec's design instead of the built-in stream design")
 	gridPath := flag.String("grid", "", "expand and run a declarative sweep document, streaming NDJSON results to stdout")
-	remote := flag.String("remote", "", "coemud base URL; drive the daemon's /v1/sweep instead of in-process runs")
+	remote := flag.String("remote", "", "comma-separated coemud base URLs; drive the daemons' /v1/sweep with failover instead of in-process runs")
+	retries := flag.Int("retries", sweepclient.DefaultRetries, "remote mode: how many transient failures (daemon down, 5xx, cut stream) to ride out")
 	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs (local mode)")
 	flag.Parse()
 	if jobs < 1 {
 		jobs = 1
 	}
+	remotes := splitRemotes(*remote)
 
 	if *gridPath != "" {
-		if err := runGrid(*gridPath, *remote, os.Stdout); err != nil {
+		if err := runGrid(*gridPath, remotes, *retries, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -95,11 +101,15 @@ func main() {
 		baseSpec = s
 	}
 	var runner desRunner = &localRunner{base: base}
-	if *remote != "" {
+	if len(remotes) > 0 {
 		if baseSpec == nil {
 			fatal(fmt.Errorf("-remote CSV sweeps need -spec (the daemon runs declarative specs)"))
 		}
-		runner = &remoteRunner{base: baseSpec, url: strings.TrimRight(*remote, "/")}
+		client, err := newRemoteClient(remotes, *retries)
+		if err != nil {
+			fatal(err)
+		}
+		runner = &remoteRunner{base: baseSpec, client: client}
 	}
 	writeTable2(filepath.Join(*out, "table2.csv"))
 	writeFigure4(filepath.Join(*out, "figure4.csv"))
@@ -108,31 +118,29 @@ func main() {
 }
 
 // runGrid executes a sweep document and streams the NDJSON results —
-// locally on the worker pool, or through a coemud daemon with -remote.
-func runGrid(path, remote string, w io.Writer) error {
-	if remote != "" {
-		data, err := os.ReadFile(path)
+// locally on the worker pool, or through coemud daemons with -remote.
+func runGrid(path string, remotes []string, retries int, w io.Writer) error {
+	if len(remotes) > 0 {
+		// Expand locally so a bad document fails with a spec error
+		// rather than an HTTP one, and so retry rounds can re-submit
+		// individual points.
+		ss, err := spec.LoadSweep(path)
 		if err != nil {
 			return err
 		}
-		// Parse locally first so a bad document fails with a spec error
-		// rather than an HTTP one.
-		if _, err := spec.ParseSweep(data); err != nil {
-			return err
-		}
-		resp, err := httpClient().Post(strings.TrimRight(remote, "/")+"/v1/sweep",
-			"application/json", bytes.NewReader(data))
+		points, err := ss.Expand()
 		if err != nil {
 			return err
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-			return fmt.Errorf("remote sweep: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		client, err := newRemoteClient(remotes, retries)
+		if err != nil {
+			return err
 		}
-		// The daemon already speaks the wire format; relay it verbatim.
-		_, err = io.Copy(w, resp.Body)
-		return err
+		lines, rawAgg, err := client.RunPoints(context.Background(), points)
+		if err != nil {
+			return err
+		}
+		return sweepclient.WriteNDJSON(w, lines, rawAgg)
 	}
 
 	ss, err := spec.LoadSweep(path)
@@ -223,10 +231,28 @@ func create(path string) *os.File {
 	return f
 }
 
-// httpClient builds the client remote modes share: generous timeout,
-// since a sweep request stays open for the whole grid.
-func httpClient() *http.Client {
-	return &http.Client{Timeout: 30 * time.Minute}
+// splitRemotes parses the comma-separated -remote list.
+func splitRemotes(remote string) []string {
+	var urls []string
+	for _, u := range strings.Split(remote, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// newRemoteClient builds the resilient daemon client the remote modes
+// share, logging retry/failover decisions to stderr so they don't
+// pollute the NDJSON stream on stdout.
+func newRemoteClient(remotes []string, retries int) (*sweepclient.Client, error) {
+	return sweepclient.New(sweepclient.Options{
+		URLs:    remotes,
+		Retries: retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
 }
 
 // desPoint is one DES sweep point: the base run with the paper's
@@ -312,54 +338,28 @@ func localReport(rep *coemu.Report) *desReport {
 	return r
 }
 
-// remoteRunner submits points to a coemud daemon as a /v1/sweep spec
-// batch: the daemon's pool runs them in parallel and its cache/store
-// answer repeats without recomputation.
+// remoteRunner submits points to coemud daemons as a /v1/sweep spec
+// batch: a daemon's pool runs them in parallel and its cache/store
+// answer repeats without recomputation. The shared sweepclient rides
+// out transient daemon failures and fails over across -remote URLs.
 type remoteRunner struct {
-	base *coemu.Spec
-	url  string
+	base   *coemu.Spec
+	client *sweepclient.Client
 }
 
 func (r *remoteRunner) runPoints(points []desPoint) ([]*desReport, error) {
-	specs := make([]json.RawMessage, len(points))
+	specs := make([]*spec.Spec, len(points))
 	for i, p := range points {
 		sp := *r.base
 		applyPointRun(&sp.Run, p)
-		b, err := json.Marshal(&sp)
-		if err != nil {
-			return nil, err
-		}
-		specs[i] = b
+		specs[i] = &sp
 	}
-	body, err := json.Marshal(map[string]any{"specs": specs})
+	lines, _, err := r.client.RunPoints(context.Background(), specs)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := httpClient().Post(r.url+"/v1/sweep", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("remote sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-
-	reps := make([]*desReport, 0, len(points))
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if bytes.HasPrefix(line, []byte(`{"aggregate"`)) {
-			break
-		}
-		var pl service.SweepLine
-		if err := json.Unmarshal(line, &pl); err != nil {
-			return nil, fmt.Errorf("remote sweep: bad line: %w", err)
-		}
+	reps := make([]*desReport, len(lines))
+	for i, pl := range lines {
 		if pl.Error != "" {
 			return nil, fmt.Errorf("remote sweep point %d: %s", pl.Index, pl.Error)
 		}
@@ -367,13 +367,7 @@ func (r *remoteRunner) runPoints(points []desPoint) ([]*desReport, error) {
 		if err := json.Unmarshal(pl.Report, &v); err != nil {
 			return nil, fmt.Errorf("remote sweep point %d: %w", pl.Index, err)
 		}
-		reps = append(reps, remoteReport(&v))
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(reps) != len(points) {
-		return nil, fmt.Errorf("remote sweep: %d results for %d points", len(reps), len(points))
+		reps[i] = remoteReport(&v)
 	}
 	return reps, nil
 }

@@ -1,0 +1,172 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/faultplan"
+	"coemu/internal/rng"
+)
+
+// ErrFrameCorrupt reports a received frame whose checksum did not
+// match its contents — an injected (or real) bit corruption detected
+// before the payload could silently diverge the run.
+var ErrFrameCorrupt = errors.New("channel: frame checksum mismatch (corrupt packet)")
+
+// ErrFrameLost reports a gap in the received frame sequence numbers: a
+// frame was dropped between the endpoints.
+var ErrFrameLost = errors.New("channel: frame sequence gap (lost packet)")
+
+// FaultEndpoint wraps a Channel with seeded fault injection on the
+// wire path. Every packet is framed with a sequence number and a
+// checksum word, then (per the plan's probabilities) delayed,
+// duplicated, or bit-corrupted in flight. The receive side verifies
+// the checksum — surfacing corruption as ErrFrameCorrupt instead of
+// silent divergence — and drops duplicates by sequence number.
+//
+// Injection is host-side only: the modeled channel economics are
+// charged through the wrapped Channel's Account at the unframed
+// payload size, so a run that survives its faults produces the exact
+// ledger, stats, and report of a fault-free run.
+type FaultEndpoint struct {
+	ch   *Channel
+	plan faultplan.ChannelFault
+	rng  *rng.Source
+
+	queues  [2]queue
+	free    [][]amba.Word
+	sendSeq [2]uint32
+	recvSeq [2]uint32
+}
+
+// frameTrailerWords is the per-frame overhead: one sequence-number
+// word plus one checksum word.
+const frameTrailerWords = 2
+
+// NewFaultEndpoint wraps ch with fault injection driven by plan and
+// seeded by seed. The plan is copied; a zero plan injects nothing but
+// still frames and verifies every packet.
+func NewFaultEndpoint(ch *Channel, plan *faultplan.ChannelFault, seed uint64) *FaultEndpoint {
+	if ch == nil {
+		panic("channel: nil channel")
+	}
+	f := &FaultEndpoint{ch: ch}
+	if plan != nil {
+		f.plan = *plan
+	}
+	f.rng = rng.New(seed)
+	return f
+}
+
+// Send charges the modeled cost of the unframed payload, frames it
+// (sequence number + checksum), applies the plan's injections, and
+// enqueues the resulting physical frame(s) in direction d.
+func (f *FaultEndpoint) Send(d Dir, payload []amba.Word) {
+	// Modeled economics: identical to Channel.Send of the same payload.
+	// Framing, duplication, and delay are the host-side fault surface,
+	// not part of the experiment's cost model.
+	f.ch.Account(d, len(payload))
+	f.sendSeq[d]++
+	seq := f.sendSeq[d]
+
+	if f.plan.Delay > 0 && f.plan.MaxDelayUS > 0 && f.rng.Bool(f.plan.Delay) {
+		time.Sleep(time.Duration(1+f.rng.Intn(f.plan.MaxDelayUS)) * time.Microsecond)
+	}
+
+	copies := 1
+	if f.rng.Bool(f.plan.Duplicate) {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		frame := f.frame(payload, seq)
+		if f.rng.Bool(f.plan.Corrupt) {
+			bit := f.rng.Intn(len(frame) * 32)
+			frame[bit/32] ^= 1 << (bit % 32)
+		}
+		q := &f.queues[d]
+		q.pkts = append(q.pkts, frame)
+	}
+}
+
+// Recv dequeues the next valid frame in direction d, verifies its
+// checksum and sequence number, and returns the unframed payload.
+// Duplicate frames are dropped silently; a checksum mismatch returns
+// ErrFrameCorrupt and a sequence gap returns ErrFrameLost.
+//
+// The returned slice is owned by the caller until handed back with
+// Release.
+func (f *FaultEndpoint) Recv(d Dir) ([]amba.Word, error) {
+	for {
+		q := &f.queues[d]
+		if q.head >= len(q.pkts) {
+			panic(fmt.Sprintf("channel: recv on empty %v fault queue", d))
+		}
+		frame := q.pkts[q.head]
+		q.pkts[q.head] = nil
+		q.head++
+		if q.head == len(q.pkts) {
+			q.pkts = q.pkts[:0]
+			q.head = 0
+		}
+		body := frame[:len(frame)-1]
+		if frameSum(body) != frame[len(frame)-1] {
+			return nil, fmt.Errorf("%w: %v frame after seq %d", ErrFrameCorrupt, d, f.recvSeq[d])
+		}
+		seq := uint32(frame[len(frame)-2])
+		if seq <= f.recvSeq[d] {
+			// Duplicate of an already-delivered frame: drop and retry.
+			f.Release(frame)
+			continue
+		}
+		if seq != f.recvSeq[d]+1 {
+			return nil, fmt.Errorf("%w: %v expected seq %d, got %d", ErrFrameLost, d, f.recvSeq[d]+1, seq)
+		}
+		f.recvSeq[d] = seq
+		return frame[:len(frame)-frameTrailerWords], nil
+	}
+}
+
+// Release returns a payload obtained from Recv to the endpoint's
+// free-list. The caller must not touch the slice afterwards.
+func (f *FaultEndpoint) Release(pkt []amba.Word) {
+	if cap(pkt) == 0 {
+		return
+	}
+	f.free = append(f.free, pkt)
+}
+
+// Pending returns the number of queued frames in direction d
+// (duplicates included — they are physical frames in flight).
+func (f *FaultEndpoint) Pending(d Dir) int {
+	q := &f.queues[d]
+	return len(q.pkts) - q.head
+}
+
+// frame copies payload into a pooled buffer and appends the sequence
+// number and checksum words.
+func (f *FaultEndpoint) frame(payload []amba.Word, seq uint32) []amba.Word {
+	var frame []amba.Word
+	if n := len(f.free); n > 0 {
+		frame = f.free[n-1][:0]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+	}
+	frame = append(frame, payload...)
+	frame = append(frame, amba.Word(seq))
+	return append(frame, frameSum(frame))
+}
+
+// frameSum computes the FNV-1a checksum of a frame body (payload plus
+// sequence word), truncated to one wire word.
+func frameSum(body []amba.Word) amba.Word {
+	h := uint32(2166136261)
+	for _, w := range body {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint32(w) >> shift & 0xff
+			h *= 16777619
+		}
+	}
+	return amba.Word(h)
+}

@@ -1,0 +1,126 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+
+	"coemu/internal/amba"
+	"coemu/internal/device"
+	"coemu/internal/faultplan"
+	"coemu/internal/vclock"
+)
+
+func TestFaultEndpointRoundTrip(t *testing.T) {
+	var l vclock.Ledger
+	f := NewFaultEndpoint(New(device.IPROVE(), &l), nil, 1)
+	in := []amba.Word{0xDEAD, 0xBEEF, 0xCAFE}
+	f.Send(SimToAcc, in)
+	in[0] = 0 // sender reuses its buffer; the frame must be unaffected
+	got, err := f.Recv(SimToAcc)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if len(got) != 3 || got[0] != 0xDEAD || got[1] != 0xBEEF || got[2] != 0xCAFE {
+		t.Fatalf("payload = %v", got)
+	}
+	f.Release(got)
+}
+
+func TestFaultEndpointAccountingMatchesChannel(t *testing.T) {
+	var lf, lc vclock.Ledger
+	plan := &faultplan.ChannelFault{Duplicate: 1} // every frame duplicated
+	f := NewFaultEndpoint(New(device.IPROVE(), &lf), plan, 7)
+	c := New(device.IPROVE(), &lc)
+	payloads := [][]amba.Word{{1}, {2, 3}, {4, 5, 6, 7, 8}, {}}
+	for _, p := range payloads {
+		f.Send(SimToAcc, p)
+		c.Send(SimToAcc, p)
+	}
+	if lf.Get(vclock.Channel) != lc.Get(vclock.Channel) {
+		t.Fatalf("faulted ledger %v != clean ledger %v", lf.Get(vclock.Channel), lc.Get(vclock.Channel))
+	}
+	fs, cs := f.ch.Stats(), c.Stats()
+	if fs != cs {
+		t.Fatalf("faulted stats %+v != clean stats %+v", fs, cs)
+	}
+}
+
+func TestFaultEndpointDropsDuplicates(t *testing.T) {
+	var l vclock.Ledger
+	plan := &faultplan.ChannelFault{Duplicate: 1}
+	f := NewFaultEndpoint(New(device.IPROVE(), &l), plan, 3)
+	for i := 0; i < 10; i++ {
+		f.Send(AccToSim, []amba.Word{amba.Word(i)})
+	}
+	if got := f.Pending(AccToSim); got != 20 {
+		t.Fatalf("pending = %d physical frames, want 20", got)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := f.Recv(AccToSim)
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if len(got) != 1 || got[0] != amba.Word(i) {
+			t.Fatalf("Recv %d = %v", i, got)
+		}
+		f.Release(got)
+	}
+	// The duplicate of the final frame has no successor to trigger its
+	// drop, so exactly one stale physical frame remains queued.
+	if got := f.Pending(AccToSim); got != 1 {
+		t.Fatalf("pending after drain = %d, want 1 trailing duplicate", got)
+	}
+}
+
+func TestFaultEndpointDetectsCorruption(t *testing.T) {
+	var l vclock.Ledger
+	plan := &faultplan.ChannelFault{Corrupt: 1}
+	f := NewFaultEndpoint(New(device.IPROVE(), &l), plan, 11)
+	f.Send(SimToAcc, []amba.Word{0xA5A5, 0x5A5A})
+	if _, err := f.Recv(SimToAcc); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("Recv err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestFaultEndpointDetectsLoss(t *testing.T) {
+	var l vclock.Ledger
+	f := NewFaultEndpoint(New(device.IPROVE(), &l), nil, 1)
+	f.Send(SimToAcc, []amba.Word{1})
+	f.Send(SimToAcc, []amba.Word{2})
+	// Simulate a lost frame by dropping the first physical packet.
+	q := &f.queues[SimToAcc]
+	q.pkts[q.head] = nil
+	q.head++
+	if _, err := f.Recv(SimToAcc); !errors.Is(err, ErrFrameLost) {
+		t.Fatalf("Recv err = %v, want ErrFrameLost", err)
+	}
+}
+
+func TestFaultEndpointDeterministic(t *testing.T) {
+	run := func() []int {
+		var l vclock.Ledger
+		plan := &faultplan.ChannelFault{Duplicate: 0.5, Corrupt: 0.1}
+		f := NewFaultEndpoint(New(device.IPROVE(), &l), plan, 99)
+		var outcomes []int
+		for i := 0; i < 50; i++ {
+			f.Send(SimToAcc, []amba.Word{amba.Word(i), amba.Word(i * 3)})
+			outcomes = append(outcomes, f.Pending(SimToAcc))
+			got, err := f.Recv(SimToAcc)
+			if err != nil {
+				outcomes = append(outcomes, -1)
+				return outcomes
+			}
+			f.Release(got)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"coemu/internal/amba"
 	"coemu/internal/channel"
 	"coemu/internal/device"
+	"coemu/internal/faultplan"
 	"coemu/internal/predict"
 	"coemu/internal/rollback"
 	"coemu/internal/stats"
@@ -157,6 +158,16 @@ type Config struct {
 	// statistics, no host-side serialization round trip. The two paths
 	// produce bit-identical reports; differential tests pin it.
 	WirePackets bool
+	// ChannelFaults, when non-nil, wraps the channel endpoints with
+	// seeded fault injection (delay jitter, duplication, bit
+	// corruption — see faultplan.ChannelFault) and implies WirePackets:
+	// faults only make sense on materialized packets. Injection is
+	// host-side only — a run that survives its faults produces the
+	// bit-identical report of a fault-free run; corruption surfaces as
+	// a channel.ErrFrameCorrupt run error.
+	ChannelFaults *faultplan.ChannelFault
+	// ChannelFaultSeed seeds the channel fault injection stream.
+	ChannelFaultSeed uint64
 	// Adaptive enables the dynamic mode governor (the paper's §3 item 4
 	// "dynamic decisions among SLA, ALS and conservative operating
 	// modes"): when the recent misprediction rate exceeds
@@ -281,6 +292,10 @@ type Engine struct {
 	cfg     Config
 	domains [2]*Domain
 	ch      *channel.Channel
+	// ep, when non-nil, is the fault-injecting wrapper every wire-path
+	// packet travels through (Config.ChannelFaults). The loopback fast
+	// path never consults it: faults imply WirePackets.
+	ep      *channel.FaultEndpoint
 	ledger  vclock.Ledger
 	lob     *LOB
 	inject  *predict.FaultInjector
@@ -376,8 +391,17 @@ func NewEngine(d Design, cfg Config) (*Engine, error) {
 	if cfg.DeltaCadence < 1 {
 		return nil, fmt.Errorf("core: delta cadence %d < 1 (0 selects the default, 1 disables delta snapshots)", cfg.DeltaCadence)
 	}
+	if cfg.ChannelFaults != nil {
+		if err := (&faultplan.Plan{Channel: cfg.ChannelFaults}).Validate(); err != nil {
+			return nil, err
+		}
+		cfg.WirePackets = true
+	}
 	e := &Engine{cfg: cfg, lob: NewLOB(cfg.LOBDepth)}
 	e.ch = channel.New(*cfg.Stack, &e.ledger)
+	if cfg.ChannelFaults != nil {
+		e.ep = channel.NewFaultEndpoint(e.ch, cfg.ChannelFaults, cfg.ChannelFaultSeed)
+	}
 	simCyc := time.Duration(1e9 / cfg.SimSpeed)
 	accCyc := time.Duration(1e9 / cfg.AccSpeed)
 	opts := predictorOptions{Idle: cfg.PredictIdle, Starts: cfg.PredictBurstStarts}
@@ -452,6 +476,35 @@ func inactivePartial(p *amba.PartialState) bool {
 		(!p.HasAP || p.AP.Trans == amba.TransIdle)
 }
 
+// wireSend ships one packed packet on the wire path, through the
+// fault endpoint when one is configured.
+func (e *Engine) wireSend(d channel.Dir, pkt []amba.Word) {
+	if e.ep != nil {
+		e.ep.Send(d, pkt)
+		return
+	}
+	e.ch.Send(d, pkt)
+}
+
+// wireRecv dequeues the next wire-path packet. Only the fault endpoint
+// can fail a receive (checksum mismatch, sequence gap); the bare
+// channel's protocol guarantees delivery.
+func (e *Engine) wireRecv(d channel.Dir) ([]amba.Word, error) {
+	if e.ep != nil {
+		return e.ep.Recv(d)
+	}
+	return e.ch.Recv(d), nil
+}
+
+// wireRelease recycles a packet obtained from wireRecv.
+func (e *Engine) wireRelease(pkt []amba.Word) {
+	if e.ep != nil {
+		e.ep.Release(pkt)
+		return
+	}
+	e.ch.Release(pkt)
+}
+
 // sendPartial ships one domain contribution across the channel. The
 // default loopback path accounts the access at the packed size without
 // materializing a packet (the engine is both endpoints and already
@@ -459,7 +512,7 @@ func inactivePartial(p *amba.PartialState) bool {
 func (e *Engine) sendPartial(d channel.Dir, p *amba.PartialState) {
 	if e.cfg.WirePackets {
 		e.packBuf = p.Pack(e.packBuf[:0])
-		e.ch.Send(d, e.packBuf)
+		e.wireSend(d, e.packBuf)
 		return
 	}
 	e.ch.Account(d, p.PackedWords())
@@ -476,9 +529,12 @@ func (e *Engine) recvPartial(d channel.Dir, sent *amba.PartialState, irqMask uin
 	if !e.cfg.WirePackets {
 		return sent, nil
 	}
-	pkt := e.ch.Recv(d)
+	pkt, err := e.wireRecv(d)
+	if err != nil {
+		return nil, err
+	}
 	p, _, err := amba.Unpack(pkt, irqMask)
-	e.ch.Release(pkt)
+	e.wireRelease(pkt)
 	e.rxBuf[d] = p
 	return &e.rxBuf[d], err
 }
@@ -783,12 +839,14 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	got := entries
 	if e.cfg.WirePackets {
 		e.packBuf = packFlush(e.packBuf[:0], entries)
-		e.ch.Send(dirFrom(leader.ID()), e.packBuf)
-		flushPkt := e.ch.Recv(dirFrom(leader.ID()))
-		var err error
+		e.wireSend(dirFrom(leader.ID()), e.packBuf)
+		flushPkt, err := e.wireRecv(dirFrom(leader.ID()))
+		if err != nil {
+			return committedLead, fmt.Errorf("core: flush: %w", err)
+		}
 		got, err = unpackFlush(e.flushEnt[:0], flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
 		e.flushEnt = got[:0]
-		e.ch.Release(flushPkt)
+		e.wireRelease(flushPkt)
 		if err != nil {
 			return committedLead, err
 		}
@@ -956,10 +1014,13 @@ func (e *Engine) followUpQuiescent(lagger *Domain, got []Entry, i int) int64 {
 func (e *Engine) exchangeReport(lagger *Domain, success bool, idx int, actual amba.PartialState) (bool, int, amba.PartialState, error) {
 	if e.cfg.WirePackets {
 		e.packBuf = packReport(e.packBuf[:0], success, idx, actual)
-		e.ch.Send(dirFrom(lagger.ID()), e.packBuf)
-		repPkt := e.ch.Recv(dirFrom(lagger.ID()))
+		e.wireSend(dirFrom(lagger.ID()), e.packBuf)
+		repPkt, err := e.wireRecv(dirFrom(lagger.ID()))
+		if err != nil {
+			return false, 0, amba.PartialState{}, fmt.Errorf("core: report: %w", err)
+		}
 		ok, i, act, err := unpackReport(repPkt, lagger.LocalIRQMask())
-		e.ch.Release(repPkt)
+		e.wireRelease(repPkt)
 		return ok, i, act, err
 	}
 	e.ch.Account(dirFrom(lagger.ID()), 1+actual.PackedWords())

@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"coemu/internal/core"
+	"coemu/internal/faultplan"
+	"coemu/internal/rng"
 	"coemu/internal/spec"
 	"coemu/internal/store"
 )
@@ -54,6 +56,14 @@ var (
 	ErrClosed = errors.New("service: shut down")
 	// ErrUnknownJob is returned for job IDs the service does not know.
 	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrWorkerPanic marks a job whose engine run panicked (organically
+	// or by fault injection). The worker recovers and keeps serving;
+	// only the job fails.
+	ErrWorkerPanic = errors.New("service: worker panic")
+	// ErrJobTimeout marks a job that exceeded its spec's run.timeout
+	// deadline. Distinct from a client cancellation: the job fails
+	// rather than reporting canceled.
+	ErrJobTimeout = errors.New("service: job deadline exceeded")
 )
 
 // Options configures a Service.
@@ -74,6 +84,12 @@ type Options struct {
 	// Logf, when non-nil, receives operational warnings (e.g. a failed
 	// store write-through). log.Printf fits.
 	Logf func(format string, args ...any)
+	// Faults, when non-nil, injects chaos-testing faults per its
+	// probabilities: the service section drives worker panics and slow
+	// runs, and the channel section rides into every engine run whose
+	// spec does not carry its own plan. The store section is consumed
+	// by store.Open, not here. Nil injects nothing.
+	Faults *faultplan.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -157,6 +173,16 @@ type Service struct {
 	cache *resultCache
 	disk  *store.Store // optional persistent layer (nil = disabled)
 
+	// space is a capacity-1 wakeup channel: workers signal it after
+	// every dequeue so sweep submission can wait for queue room instead
+	// of spinning (see SweepJob.submitPoint).
+	space chan struct{}
+
+	// frngMu guards frng, the seeded stream behind every service-layer
+	// fault decision (worker panics, slow runs); nil without a plan.
+	frngMu sync.Mutex
+	frng   *rng.Source
+
 	mu       sync.Mutex
 	closed   bool
 	seq      int64
@@ -166,9 +192,11 @@ type Service struct {
 	retain   []string        // job IDs in submission order, for pruning
 
 	// Cumulative counters surfaced by Counters.
-	engineRuns  int64
-	sweeps      int64
-	sweepPoints int64
+	engineRuns   int64
+	sweeps       int64
+	sweepPoints  int64
+	workerPanics int64
+	jobTimeouts  int64
 }
 
 // New starts a service with the given options.
@@ -180,21 +208,43 @@ func New(opts Options) *Service {
 		ctx:      ctx,
 		stop:     stop,
 		queue:    make(chan *Job, opts.QueueDepth),
+		space:    make(chan struct{}, 1),
 		cache:    newResultCache(opts.CacheSize),
 		disk:     opts.Store,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+	}
+	if opts.Faults != nil {
+		s.frng = rng.New(faultplan.Mix(opts.Faults.Seed, 0x5e54))
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			for job := range s.queue {
+				// Queue room opened up: wake one submitter waiting out
+				// backpressure (non-blocking; the flag is level-triggered).
+				select {
+				case s.space <- struct{}{}:
+				default:
+				}
 				s.runJob(job)
 			}
 		}()
 	}
 	return s
+}
+
+// QueueDepth reports the pending-job queue's occupancy and capacity.
+func (s *Service) QueueDepth() (pending, capacity int) {
+	return len(s.queue), cap(s.queue)
+}
+
+// Saturated reports whether the pending-job queue is full — the state
+// in which Submit returns ErrQueueFull and an HTTP front end should
+// shed load instead of stalling clients.
+func (s *Service) Saturated() bool {
+	return len(s.queue) >= cap(s.queue)
 }
 
 // Close shuts the service down: no new submissions, every queued and
@@ -437,6 +487,13 @@ type Counters struct {
 	StoreEvictions int64 `json:"store_evictions"`
 	StoreEntries   int   `json:"store_entries"`
 
+	// Fault observations: worker panics recovered (organic or
+	// injected), jobs failed on their run.timeout deadline, and store
+	// entries quarantined after failing content verification.
+	WorkerPanics     int64 `json:"worker_panics"`
+	JobTimeouts      int64 `json:"job_timeouts"`
+	StoreQuarantined int64 `json:"store_quarantined"`
+
 	Jobs int `json:"jobs"`
 }
 
@@ -445,13 +502,15 @@ func (s *Service) Counters() Counters {
 	hits, misses, size := s.cache.Stats()
 	s.mu.Lock()
 	c := Counters{
-		CacheHits:   hits,
-		CacheMisses: misses,
-		CacheSize:   size,
-		EngineRuns:  s.engineRuns,
-		Sweeps:      s.sweeps,
-		SweepPoints: s.sweepPoints,
-		Jobs:        len(s.jobs),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheSize:    size,
+		EngineRuns:   s.engineRuns,
+		Sweeps:       s.sweeps,
+		SweepPoints:  s.sweepPoints,
+		WorkerPanics: s.workerPanics,
+		JobTimeouts:  s.jobTimeouts,
+		Jobs:         len(s.jobs),
 	}
 	s.mu.Unlock()
 	if s.disk != nil {
@@ -459,6 +518,7 @@ func (s *Service) Counters() Counters {
 		c.StoreHits, c.StoreMisses = st.Hits, st.Misses
 		c.StorePuts, c.StoreEvictions = st.Puts, st.Evictions
 		c.StoreEntries = st.Entries
+		c.StoreQuarantined = st.Quarantined
 	}
 	return c
 }
@@ -480,7 +540,8 @@ func (s *Service) runJob(job *Job) {
 	s.engineRuns++
 	s.mu.Unlock()
 
-	rep, err := runSpec(job.ctx, job.spec)
+	timeout := job.spec.Run.JobTimeout()
+	rep, err := s.executeJob(job, timeout)
 
 	var res *Result
 	if err == nil {
@@ -501,11 +562,82 @@ func (s *Service) runJob(job *Job) {
 	case err == nil:
 		s.cache.Put(job.hash, res)
 		s.finishLocked(job, StatusDone, res, nil)
+	case errors.Is(err, ErrWorkerPanic):
+		s.workerPanics++
+		s.finishLocked(job, StatusFailed, nil, err)
+	case errors.Is(err, context.DeadlineExceeded) && job.ctx.Err() == nil:
+		// The job's own deadline fired while the submission context is
+		// still live: a timeout failure, not a client cancellation.
+		s.jobTimeouts++
+		s.finishLocked(job, StatusFailed, nil, fmt.Errorf("%w (run.timeout %v)", ErrJobTimeout, timeout))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.finishLocked(job, StatusCanceled, nil, err)
 	default:
 		s.finishLocked(job, StatusFailed, nil, err)
 	}
+}
+
+// executeJob runs one job's engine under its deadline and the active
+// fault plan, converting a panicking run (organic or injected) into an
+// ErrWorkerPanic failure so the worker survives.
+func (s *Service) executeJob(job *Job, timeout time.Duration) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+		}
+	}()
+	ctx := job.ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if f := s.serviceFaults(); f != nil {
+		if f.SlowRun > 0 && f.SlowDelayMS > 0 && s.faultHit(f.SlowRun) {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(f.SlowDelayMS) * time.Millisecond):
+			}
+		}
+		if f.WorkerPanic > 0 && s.faultHit(f.WorkerPanic) {
+			panic("faultplan: injected worker panic")
+		}
+	}
+	chf, seed := s.jobChannelFaults(job)
+	return runSpec(ctx, job.spec, chf, seed)
+}
+
+// serviceFaults returns the active plan's service section, if any.
+func (s *Service) serviceFaults() *faultplan.ServiceFault {
+	if s.opts.Faults == nil {
+		return nil
+	}
+	return s.opts.Faults.Service
+}
+
+// faultHit draws one seeded fault decision.
+func (s *Service) faultHit(p float64) bool {
+	s.frngMu.Lock()
+	defer s.frngMu.Unlock()
+	return s.frng.Bool(p)
+}
+
+// jobChannelFaults returns the channel faults to apply to one job's
+// engine run: the spec's own plan wins (Compile applies it; returning
+// nil here leaves it in place), otherwise the service-level plan's
+// channel section with a per-job seed — each retry of a fated point is
+// a new job with a new seq, so it draws a fresh fault sequence instead
+// of failing forever.
+func (s *Service) jobChannelFaults(job *Job) (*faultplan.ChannelFault, uint64) {
+	fp := s.opts.Faults
+	if fp == nil || fp.Channel == nil {
+		return nil, 0
+	}
+	if jp := job.spec.Run.FaultPlan; jp != nil && jp.Channel != nil {
+		return nil, 0
+	}
+	return fp.Channel, faultplan.Mix(fp.Seed, uint64(job.seq))
 }
 
 // logf forwards to the configured warning logger, if any.
@@ -535,11 +667,18 @@ func (s *Service) finishLocked(job *Job, st Status, res *Result, err error) {
 	close(job.done)
 }
 
-// runSpec compiles and executes a spec under ctx.
-func runSpec(ctx context.Context, sp *spec.Spec) (*core.Report, error) {
+// runSpec compiles and executes a spec under ctx. chf, when non-nil,
+// is a service-level channel fault plan applied to the engine (a
+// spec-level plan was already compiled in and is never overridden —
+// jobChannelFaults returns nil for those specs).
+func runSpec(ctx context.Context, sp *spec.Spec, chf *faultplan.ChannelFault, seed uint64) (*core.Report, error) {
 	d, cfg, err := sp.Compile()
 	if err != nil {
 		return nil, err
+	}
+	if chf != nil && cfg.ChannelFaults == nil {
+		cfg.ChannelFaults = chf
+		cfg.ChannelFaultSeed = seed
 	}
 	e, err := core.NewEngine(d, cfg)
 	if err != nil {

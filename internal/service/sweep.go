@@ -4,14 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"coemu/internal/spec"
 )
-
-// queueFullRetry paces re-submission attempts while the worker queue
-// is saturated by a large sweep.
-const queueFullRetry = 5 * time.Millisecond
 
 // PointResult is one expanded sweep point's outcome, delivered in
 // point order on SweepJob.Results.
@@ -150,7 +145,12 @@ func (sw *SweepJob) run(ctx context.Context, points []*spec.Spec, ephemeral bool
 }
 
 // submitPoint submits one point, riding out queue backpressure until
-// ctx is canceled.
+// ctx is canceled. Instead of polling on a timer it parks on the
+// service's wakeup channel, which a worker signals on every dequeue —
+// a full queue costs one channel receive per freed slot, not a spin.
+// Several waiting sweeps may race for one slot; the losers miss the
+// signal, fail the next Submit, and park again, so progress is
+// guaranteed without a thundering herd.
 func (sw *SweepJob) submitPoint(ctx context.Context, sp *spec.Spec, ephemeral bool) (*Job, error) {
 	for {
 		job, err := sw.svc.Submit(sp, ephemeral)
@@ -160,7 +160,9 @@ func (sw *SweepJob) submitPoint(ctx context.Context, sp *spec.Spec, ephemeral bo
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(queueFullRetry):
+		case <-sw.svc.ctx.Done():
+			return nil, ErrClosed
+		case <-sw.svc.space:
 		}
 	}
 }

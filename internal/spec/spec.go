@@ -27,8 +27,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"coemu/internal/core"
+	"coemu/internal/faultplan"
 )
 
 // Addr is a bus address. It unmarshals from either a JSON number or a
@@ -186,6 +188,17 @@ type Run struct {
 
 	KeepTrace     bool `json:"keep_trace,omitempty"`
 	CheckProtocol bool `json:"check_protocol,omitempty"`
+
+	// Timeout is the per-job wall-clock deadline as a Go duration
+	// string ("30s", "2m"). Empty means no deadline. It bounds host
+	// execution, not the modeled run, so it is a host-side knob:
+	// excluded from the canonical hash like CycleBatch/DeltaCadence.
+	Timeout string `json:"timeout,omitempty"`
+	// FaultPlan configures seeded chaos-testing fault injection for
+	// this run (see faultplan). Host-side test harness configuration:
+	// excluded from the canonical hash — a run that survives its
+	// faults produces bit-identical results to the plan-free run.
+	FaultPlan *faultplan.Plan `json:"fault_plan,omitempty"`
 }
 
 // Spec is a complete declarative co-emulation run.
@@ -326,7 +339,33 @@ func (s *Spec) Validate() error {
 	if r.AdaptiveThreshold < 0 || r.AdaptiveThreshold > 1 {
 		return fmt.Errorf("spec: adaptive_threshold %v outside [0, 1]", r.AdaptiveThreshold)
 	}
+	if r.Timeout != "" {
+		d, err := time.ParseDuration(r.Timeout)
+		if err != nil {
+			return fmt.Errorf("spec: run.timeout: %w", err)
+		}
+		if d <= 0 {
+			return fmt.Errorf("spec: run.timeout %q must be positive", r.Timeout)
+		}
+	}
+	if err := r.FaultPlan.Validate(); err != nil {
+		return fmt.Errorf("spec: run.fault_plan: %w", err)
+	}
 	return nil
+}
+
+// JobTimeout returns the parsed per-job deadline, or 0 when the spec
+// sets none. It assumes a validated spec; an unparsable duration
+// (impossible after Validate) also returns 0.
+func (r *Run) JobTimeout() time.Duration {
+	if r.Timeout == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(r.Timeout)
+	if err != nil || d <= 0 {
+		return 0
+	}
+	return d
 }
 
 // Normalized returns a validated copy with every default filled in and
@@ -415,6 +454,13 @@ func (s *Spec) CanonicalHash() (string, error) {
 	// from before the knob existed.
 	n.Run.CycleBatch = core.DefaultCycleBatch
 	n.Run.DeltaCadence = 0
+	// Timeout and FaultPlan are host-side too: a deadline bounds host
+	// execution without touching modeled results, and fault injection
+	// is a chaos harness whose surviving runs are bit-identical to
+	// fault-free ones. Both hash as absent so a chaos-tested or
+	// deadline-bounded run shares its cache entry with the plain run.
+	n.Run.Timeout = ""
+	n.Run.FaultPlan = nil
 	b, err := json.Marshal(n)
 	if err != nil {
 		return "", fmt.Errorf("spec: canonical encode: %w", err)

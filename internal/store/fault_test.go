@@ -1,0 +1,233 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coemu/internal/faultplan"
+)
+
+// corrupt rewrites the stored file for key with raw bytes, bypassing
+// Put — the torn or bit-flipped entry a crash or bad disk would leave.
+func corrupt(t *testing.T, s *Store, k string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(s.path(k), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumMismatchQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	k := key("poisoned")
+	if err := s.Put(k, []byte(`{"report": 1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bytes but keep the old trailer: the content hash no
+	// longer matches.
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	corrupt(t, s, k, raw)
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("served a checksum-mismatched entry")
+	}
+	if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still at its path: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, k+".json")); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want 1 quarantined / 0 entries", st)
+	}
+	// The key is reusable: a fresh Put of the true content serves again.
+	if err := s.Put(k, []byte(`{"report": 1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || string(got) != `{"report": 1}` {
+		t.Fatalf("Get after re-Put = %q/%v", got, ok)
+	}
+}
+
+func TestTruncatedFileQuarantines(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cut  func(raw []byte) []byte
+	}{
+		{"below trailer length", func(raw []byte) []byte { return raw[:10] }},
+		{"mid-trailer", func(raw []byte) []byte { return raw[:len(raw)-20] }},
+		{"empty", func([]byte) []byte { return nil }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, t.TempDir(), 0)
+			k := key("torn-" + tc.name)
+			if err := s.Put(k, []byte(`{"report": 2}`)); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(s.path(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, s, k, tc.cut(raw))
+			if _, ok := s.Get(k); ok {
+				t.Fatal("served a truncated entry")
+			}
+			if got := s.Stats().Quarantined; got != 1 {
+				t.Fatalf("quarantined = %d, want 1", got)
+			}
+		})
+	}
+}
+
+func TestSiblingRecoversFromCorruptEntry(t *testing.T) {
+	// Two stores over one directory, as two coemud processes would be.
+	// One sibling's entry is corrupted on disk; the other must detect
+	// it on read, quarantine it, and accept a clean rewrite — the
+	// recovery path the chaos suite leans on when daemons share a
+	// store.
+	dir := t.TempDir()
+	a := open(t, dir, 0)
+	b := open(t, dir, 0)
+	k := key("shared-corrupt")
+	if err := a.Put(k, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, a, k, []byte("torn-garbage"))
+
+	if _, ok := b.Get(k); ok {
+		t.Fatal("sibling served the corrupt entry")
+	}
+	if err := a.Put(k, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Get(k); !ok || string(got) != "good" {
+		t.Fatalf("sibling Get after recovery = %q/%v", got, ok)
+	}
+	// Quarantine moved the file once; the sibling that re-read after
+	// the rewrite must not double-count.
+	if got := b.Stats().Quarantined; got != 1 {
+		t.Fatalf("sibling quarantined = %d, want 1", got)
+	}
+}
+
+func TestOpenSkipsQuarantineAndSweepsTmp(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	k := key("to-quarantine")
+	if err := s.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, k, []byte("bad"))
+	if _, ok := s.Get(k); ok {
+		t.Fatal("served corrupt entry")
+	}
+
+	// A fresh orphan (crashed writer moments ago) and a stale one.
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(sub, "."+key("f")+".tmp-123")
+	stale := filepath.Join(sub, "."+key("s")+".tmp-456")
+	for _, p := range []string{fresh, stale} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir, 0)
+	if s2.Len() != 0 {
+		t.Fatalf("reopened store indexed %d entries; quarantined files must stay out", s2.Len())
+	}
+	if got := s2.Stats().TmpSwept; got != 1 {
+		t.Fatalf("tmp_swept = %d, want 1 (stale only)", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale orphan survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file swept within the grace period: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, k+".json")); err != nil {
+		t.Fatalf("quarantined file missing after reopen: %v", err)
+	}
+}
+
+func TestInjectedWriteError(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{
+		Faults:    &faultplan.StoreFault{WriteError: 1},
+		FaultSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("doomed")
+	if err := s.Put(k, []byte("x")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("Put err = %v, want ErrInjectedWrite", err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("entry exists after injected write error")
+	}
+}
+
+func TestInjectedTornWriteIsQuarantinedOnRead(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{
+		Faults:    &faultplan.StoreFault{TornWrite: 1},
+		FaultSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("half-written")
+	if err := s.Put(k, []byte(`{"report": 3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("served a torn write")
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("quarantined = %d, want 1", got)
+	}
+}
+
+func TestFaultsAreSeededDeterministic(t *testing.T) {
+	outcomes := func(seed uint64) []bool {
+		s, err := Open(t.TempDir(), Options{
+			Faults:    &faultplan.StoreFault{WriteError: 0.5},
+			FaultSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res []bool
+		for i := 0; i < 32; i++ {
+			err := s.Put(key2(t, i), []byte("x"))
+			res = append(res, errors.Is(err, ErrInjectedWrite))
+		}
+		return res
+	}
+	a, b := outcomes(11), outcomes(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at Put %d", i)
+		}
+	}
+}
+
+// key2 derives a distinct canonical key from an index.
+func key2(t *testing.T, i int) string {
+	t.Helper()
+	return key(string(rune('a'+i)) + "-det")
+}

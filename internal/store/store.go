@@ -8,10 +8,17 @@
 // Layout: <dir>/<hh>/<hash>.json, where hh is the first two hex digits
 // of the 64-hex-digit sha256 key (one fanout level keeps directories
 // small at six-figure entry counts). Writes are atomic — a temp file
-// in the same directory renamed over the final path — so a crashed or
-// concurrent writer can never leave a torn entry, and concurrent
-// writers of the same key converge on identical content (keys are
-// content addresses).
+// in the same directory, fsynced and renamed over the final path — so
+// a crashed or concurrent writer can never leave a torn entry, and
+// concurrent writers of the same key converge on identical content
+// (keys are content addresses).
+//
+// Every file carries a content-hash trailer (a newline plus the hex
+// sha256 of the payload). Get verifies it before serving: an entry
+// whose bytes do not match — torn by a crash, flipped by the disk, or
+// injected by a fault plan — is quarantined under <dir>/quarantine/
+// and reported as a miss, never served. Orphaned temp files older than
+// a grace period are swept on Open.
 //
 // The store is LRU-bounded by entry count. Recency survives restarts
 // through file modification times: Get touches the entry's mtime, Open
@@ -19,6 +26,8 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -28,6 +37,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"coemu/internal/faultplan"
+	"coemu/internal/rng"
 )
 
 // DefaultMaxEntries bounds the store when Options.MaxEntries is 0.
@@ -38,6 +50,23 @@ const DefaultMaxEntries = 4096
 // to use as file names.
 var ErrBadKey = errors.New("store: key is not a canonical sha256 hex string")
 
+// ErrInjectedWrite is the error an active fault plan's write_error
+// injection returns from Put; callers see a failed write with the
+// disk untouched.
+var ErrInjectedWrite = errors.New("store: injected write error (fault plan)")
+
+// quarantineDir is the subdirectory corrupt entries are moved to.
+const quarantineDir = "quarantine"
+
+// trailerLen is the on-disk overhead of the content-hash trailer: a
+// newline plus the 64-hex-digit sha256 of the payload.
+const trailerLen = 1 + 64
+
+// tmpSweepAge is how old an orphaned temp file must be before Open
+// deletes it. The grace period keeps a live sibling's in-flight write
+// safe from a concurrently starting process.
+const tmpSweepAge = time.Hour
+
 // Options configures Open.
 type Options struct {
 	// MaxEntries bounds the store's entry count; the least recently
@@ -47,21 +76,31 @@ type Options struct {
 	// MaxBytes bounds the total size of stored payloads on disk; the
 	// least recently used entries are evicted until the total fits.
 	// 0 or negative means unbounded (the entry bound still applies).
-	// Sizes count payload bytes (file contents), not filesystem
-	// block or inode overhead.
+	// Sizes count payload bytes (the content-hash trailer is
+	// excluded), not filesystem block or inode overhead.
 	MaxBytes int64
+	// Faults, when non-nil, injects write faults (failed and torn
+	// writes) per its probabilities, driven by FaultSeed. Chaos
+	// testing only; nil injects nothing.
+	Faults *faultplan.StoreFault
+	// FaultSeed seeds the write-fault stream.
+	FaultSeed uint64
 }
 
 // Stats is a point-in-time snapshot of the store's counters. Hits and
 // misses count Get outcomes, Puts successful writes, Evictions entries
-// removed by the LRU bounds (entry count or total bytes).
+// removed by the LRU bounds (entry count or total bytes), Quarantined
+// entries moved aside after failing content verification, TmpSwept
+// orphaned temp files deleted on Open.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Puts      int64 `json:"puts"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Evictions   int64 `json:"evictions"`
+	Quarantined int64 `json:"quarantined"`
+	TmpSwept    int64 `json:"tmp_swept"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
 }
 
 // Store is a content-addressed on-disk result store. All methods are
@@ -70,12 +109,14 @@ type Store struct {
 	dir      string
 	max      int
 	maxBytes int64
+	faults   *faultplan.StoreFault
 
 	mu    sync.Mutex
 	byKey map[string]*entry
 	order []*entry // index 0 = least recently used
 	bytes int64    // total payload bytes of indexed entries
 	stats Stats
+	frng  *rng.Source // write-fault stream; nil without faults
 }
 
 // entry tracks one stored key with its payload size and recency rank.
@@ -87,12 +128,17 @@ type entry struct {
 
 // Open creates (if needed) and indexes a store rooted at dir. Existing
 // entries are adopted with their file mtimes as recency; unreadable or
-// misnamed files are ignored. Opening the same directory from several
-// processes is safe: writes are atomic and reads fall back to disk on
-// index misses, so siblings see each other's results.
+// misnamed files are ignored, quarantined entries are skipped, and
+// orphaned temp files older than a grace period are deleted. Opening
+// the same directory from several processes is safe: writes are
+// atomic and reads fall back to disk on index misses, so siblings see
+// each other's results.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
+	}
+	if err := (&faultplan.Plan{Store: opts.Faults}).Validate(); err != nil {
+		return nil, err
 	}
 	max := opts.MaxEntries
 	if max == 0 {
@@ -102,9 +148,31 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, max: max, maxBytes: opts.MaxBytes, byKey: make(map[string]*entry)}
+	if opts.Faults != nil {
+		s.faults = opts.Faults
+		s.frng = rng.New(faultplan.Mix(opts.FaultSeed, 0x5704e))
+	}
+	now := time.Now()
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
+		if err != nil {
 			return nil //nolint:nilerr // skip unreadable subtrees, index the rest
+		}
+		if d.IsDir() {
+			if d.Name() == quarantineDir && filepath.Dir(path) == dir {
+				return fs.SkipDir // quarantined entries stay out of the index
+			}
+			return nil
+		}
+		if isTmpFile(d.Name()) {
+			// A crashed writer's orphan. Live siblings rename their temp
+			// files within moments, so anything past the grace period is
+			// garbage.
+			if info, err := d.Info(); err == nil && now.Sub(info.ModTime()) > tmpSweepAge {
+				if os.Remove(path) == nil {
+					s.stats.TmpSwept++
+				}
+			}
+			return nil
 		}
 		key, ok := keyOfFile(d.Name())
 		if !ok {
@@ -114,7 +182,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil
 		}
-		e := &entry{key: key, size: info.Size(), used: info.ModTime()}
+		size := info.Size() - trailerLen
+		if size < 0 {
+			size = 0 // truncated below the trailer; Get will quarantine it
+		}
+		e := &entry{key: key, size: size, used: info.ModTime()}
 		s.byKey[key] = e
 		s.order = append(s.order, e)
 		s.bytes += e.size
@@ -135,8 +207,10 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // Get returns the bytes stored under key and marks the entry most
-// recently used. An index miss probes the disk before reporting a miss
-// so results written by sibling processes are found.
+// recently used. The entry's content-hash trailer is verified first:
+// an entry whose bytes do not match is quarantined and reported as a
+// miss. An index miss probes the disk before reporting a miss so
+// results written by sibling processes are found.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		return nil, false
@@ -144,10 +218,21 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, indexed := s.byKey[key]
-	data, err := os.ReadFile(s.path(key))
+	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		// The file is gone (pruned externally, or never existed): drop
 		// any stale index entry and report a miss.
+		if indexed {
+			s.dropLocked(e)
+		}
+		s.stats.Misses++
+		return nil, false
+	}
+	data, ok := verifyTrailer(raw)
+	if !ok {
+		// Torn, truncated, or bit-flipped: move the evidence aside and
+		// miss, so the service recomputes instead of serving garbage.
+		s.quarantineLocked(key)
 		if indexed {
 			s.dropLocked(e)
 		}
@@ -179,8 +264,10 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return data, true
 }
 
-// Put stores data under key, atomically, and marks the entry most
-// recently used. Storing an existing key refreshes its recency (the
+// Put stores data under key, atomically and durably (the temp file is
+// fsynced before the rename), and marks the entry most recently used.
+// The payload is written with its content-hash trailer so Get can
+// verify it. Storing an existing key refreshes its recency (the
 // content is already equal by construction: keys are content
 // addresses). A payload larger than the whole byte budget is not
 // admitted at all — admitting it would evict every other entry and
@@ -198,6 +285,23 @@ func (s *Store) Put(key string, data []byte) error {
 		s.mu.Unlock()
 		return nil
 	}
+	framed := withTrailer(data)
+	torn := false
+	if s.faults != nil {
+		s.mu.Lock()
+		inject := s.frng.Bool(s.faults.WriteError)
+		torn = s.frng.Bool(s.faults.TornWrite)
+		s.mu.Unlock()
+		if inject {
+			return ErrInjectedWrite
+		}
+		if torn {
+			// A torn write persists only a prefix — what a crash between
+			// write and fsync would leave without the atomic rename. The
+			// trailer check quarantines it on first read.
+			framed = framed[:len(framed)/2]
+		}
+	}
 	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -206,7 +310,14 @@ func (s *Store) Put(key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	// Durability: the data must be on stable storage before the rename
+	// makes it visible, or a power loss could publish a torn entry.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
@@ -219,6 +330,7 @@ func (s *Store) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	syncDir(filepath.Dir(path))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -265,6 +377,19 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
+// quarantineLocked moves the entry file for key into the quarantine
+// subdirectory (or deletes it if the move fails) so it is never served
+// again but remains available for post-mortem inspection.
+func (s *Store) quarantineLocked(key string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		_ = os.Remove(s.path(key))
+	} else if err := os.Rename(s.path(key), filepath.Join(qdir, key+".json")); err != nil {
+		_ = os.Remove(s.path(key))
+	}
+	s.stats.Quarantined++
+}
+
 // touchLocked moves e to the most-recently-used end and persists the
 // recency in the file mtime (best effort — recency is advisory).
 func (s *Store) touchLocked(e *entry) {
@@ -309,6 +434,47 @@ func (s *Store) evictLocked() {
 		_ = os.Remove(s.path(victim.key))
 		s.stats.Evictions++
 	}
+}
+
+// withTrailer appends the content-hash trailer to a payload copy.
+func withTrailer(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	framed := make([]byte, 0, len(data)+trailerLen)
+	framed = append(framed, data...)
+	framed = append(framed, '\n')
+	return hex.AppendEncode(framed, sum[:])
+}
+
+// verifyTrailer splits a stored file into payload and trailer and
+// checks the content hash, reporting whether the payload is intact.
+func verifyTrailer(raw []byte) ([]byte, bool) {
+	if len(raw) < trailerLen || raw[len(raw)-trailerLen] != '\n' {
+		return nil, false
+	}
+	data := raw[:len(raw)-trailerLen]
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != string(raw[len(raw)-trailerLen+1:]) {
+		return nil, false
+	}
+	return data, true
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Best
+// effort: some filesystems reject directory fsync, and losing only
+// recency-of-visibility is acceptable there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// isTmpFile reports whether name looks like one of Put's in-flight
+// temp files (".<hash>.tmp-<random>").
+func isTmpFile(name string) bool {
+	return strings.HasPrefix(name, ".") && strings.Contains(name, ".tmp-")
 }
 
 // validKey reports whether key is a canonical 64-digit lowercase hex
