@@ -10,6 +10,13 @@
 // With -spec, the design, configuration and cycle budget all come from
 // the declarative JSON spec (see internal/spec) and the other scenario
 // flags are ignored.
+//
+// With -trace-out trace.json, the run records its protocol events —
+// conservative stretches, run-ahead and follow-up spans, rollbacks,
+// channel flushes — into a ring buffer (-trace-ring bounds it) and
+// writes a Chrome trace_event file at exit; load it in Perfetto or
+// chrome://tracing to see the engine's cycle-level schedule. Tracing is
+// a pure observer: the report is bit-identical with and without it.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"coemu"
 	"coemu/internal/channel"
 	"coemu/internal/ip"
+	"coemu/internal/trace"
 	"coemu/internal/vclock"
 	"coemu/internal/workload"
 )
@@ -39,7 +47,14 @@ func main() {
 	predictStarts := flag.Bool("predict-starts", false, "extension: predict burst starts by stride")
 	adaptive := flag.Bool("adaptive", false, "extension: adaptive conservative fallback governor")
 	specPath := flag.String("spec", "", "run a declarative JSON spec file (ignores the scenario flags)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event file (Perfetto-loadable) of the run's protocol events")
+	traceRing := flag.Int("trace-ring", 0, "protocol trace ring capacity in events (0 = default)")
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(*traceRing)
+	}
 
 	if *specPath != "" {
 		s, err := coemu.LoadSpec(*specPath)
@@ -52,12 +67,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		cfg.Tracer = rec
 		rep, err := coemu.Run(d, cfg, s.Run.Cycles)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		print(rep)
+		writeTrace(*traceOut, rec)
 		return
 	}
 
@@ -94,6 +111,7 @@ func main() {
 		RollbackVars: *vars,
 		PredictIdle:  *predictIdle, PredictBurstStarts: *predictStarts,
 		Adaptive: *adaptive,
+		Tracer:   rec,
 	}
 	rep, err := coemu.Run(design, cfg, *cycles)
 	if err != nil {
@@ -101,6 +119,35 @@ func main() {
 		os.Exit(1)
 	}
 	print(rep)
+	writeTrace(*traceOut, rec)
+}
+
+// writeTrace dumps a recorded run as a Chrome trace_event file. A nil
+// recorder (no -trace-out) is a no-op.
+func writeTrace(path string, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := trace.WriteChromeTrace(f, rec.Events()); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Stderr, so stdout stays byte-identical with and without tracing.
+	fmt.Fprintf(os.Stderr, "protocol trace: %d events to %s", rec.Len(), path)
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, " (%d oldest dropped; raise -trace-ring)", d)
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 // scriptDesign builds a single-master design driven by a user transfer

@@ -23,6 +23,15 @@
 //	GET    /v1/jobs/{id}        job status.
 //	GET    /v1/jobs/{id}/result block until the job completes, then
 //	                            return its report.
+//	GET    /v1/jobs/{id}/events stream the job's lifecycle as
+//	                            Server-Sent Events: one "status" event
+//	                            per state change, stream closed at the
+//	                            terminal state.
+//	GET    /v1/jobs/{id}/trace  a finished job's protocol event trace
+//	                            (submit with "run": {"trace": true}).
+//	                            Default JSON events; ?format=chrome
+//	                            emits a Chrome trace_event document for
+//	                            Perfetto / chrome://tracing.
 //	DELETE /v1/jobs/{id}        cancel a job.
 //	POST   /v1/sweep            a sweep document (spec + "sweep" grid
 //	                            block) or {"specs": [spec, ...]}: fan
@@ -45,6 +54,14 @@
 // panics and slow runs at the service layer, write errors and torn
 // writes at the store, packet duplication/corruption/delay on every
 // job's channel. All injection is off without the flag.
+//
+// Observability: GET /metrics serves Prometheus text exposition
+// (disable with -metrics=false) — job/queue/store latency histograms
+// and engine-protocol counters from internal/service plus mirrored
+// service counters, so /metrics and /v1/stats always agree. Requests
+// are logged structurally (slog, -log-level) with an X-Request-Id
+// echoed to the client. -pprof mounts net/http/pprof at /debug/pprof/
+// for live profiling; it is off by default.
 package main
 
 import (
@@ -56,6 +73,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,6 +82,7 @@ import (
 	"time"
 
 	"coemu/internal/faultplan"
+	"coemu/internal/metrics"
 	"coemu/internal/service"
 	"coemu/internal/spec"
 	"coemu/internal/store"
@@ -80,7 +99,16 @@ func main() {
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "persistent store entry bound (negative = unbounded)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store disk-byte bound (0 = unbounded)")
 	faultPlanPath := flag.String("fault-plan", "", "seeded fault-injection plan JSON (see internal/faultplan); injection off when empty")
+	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles at /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var plan *faultplan.Plan
 	if *faultPlanPath != "" {
@@ -89,10 +117,16 @@ func main() {
 			log.Fatal(err)
 		}
 		plan = p
-		log.Printf("fault plan armed from %s (seed %d)", *faultPlanPath, plan.Seed)
+		logger.Info("fault plan armed", "path", *faultPlanPath, "seed", plan.Seed)
 	}
 
-	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: log.Printf, Faults: plan}
+	logf := func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) }
+	opts := service.Options{Workers: *jobs, CacheSize: *cache, QueueDepth: *queue, Logf: logf, Faults: plan}
+	var reg *metrics.Registry
+	if *metricsOn {
+		reg = metrics.NewRegistry()
+		opts.Metrics = service.NewMetrics(reg)
+	}
 	if *storeDir != "" {
 		storeOpts := store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes}
 		if plan != nil {
@@ -102,13 +136,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("result store at %s (%d entries, %d bytes)", disk.Dir(), disk.Len(), disk.Bytes())
+		logger.Info("result store open", "dir", disk.Dir(), "entries", disk.Len(), "bytes", disk.Bytes())
 		opts.Store = disk
 	}
 	svc := service.New(opts)
+	mux := newMux(svc, *maxBody, *sweepMax)
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newMux(svc, *maxBody, *sweepMax),
+		Handler: observe(mux, svc, observeConfig{Registry: reg, Pprof: *pprofOn, Logger: logger}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -116,11 +151,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("coemud listening on %s (%d workers, cache %d)", *addr, *jobs, *cache)
+	logger.Info("coemud listening", "addr", *addr, "workers", *jobs, "cache", *cache,
+		"metrics", *metricsOn, "pprof", *pprofOn)
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
 	case err := <-errc:
 		log.Fatal(err)
 	}
@@ -137,7 +173,7 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	<-svcClosed
 }
@@ -232,6 +268,9 @@ func newMux(svc *service.Service, maxBody int64, sweepMax int) *http.ServeMux {
 		}
 		writeReport(w, res)
 	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/events", handleJobEvents(svc))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", handleJobTrace(svc))
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := svc.Cancel(r.PathValue("id")); err != nil {

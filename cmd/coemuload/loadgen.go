@@ -1,0 +1,332 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MixEntry is one weighted job kind in the generated load: "run" issues
+// synchronous POST /v1/run requests, "job" drives the asynchronous
+// submit-then-wait pair (POST /v1/jobs + GET /v1/jobs/{id}/result).
+type MixEntry struct {
+	Kind   string
+	Weight int
+}
+
+// ParseMix parses a -mix flag value like "run=3,job=1" into weighted
+// entries.
+func ParseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weightStr, ok := strings.Cut(part, "=")
+		weight := 1
+		if ok {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("mix: bad weight in %q", part)
+			}
+			weight = w
+		}
+		switch kind {
+		case "run", "job":
+			mix = append(mix, MixEntry{Kind: kind, Weight: weight})
+		default:
+			return nil, fmt.Errorf("mix: unknown job kind %q (want run or job)", kind)
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix: empty")
+	}
+	return mix, nil
+}
+
+// schedule unrolls the mix into a repeating kind sequence, so the i-th
+// request's kind is deterministic: weights become exact ratios, not
+// sampling odds.
+func schedule(mix []MixEntry) []string {
+	var seq []string
+	for _, m := range mix {
+		for i := 0; i < m.Weight; i++ {
+			seq = append(seq, m.Kind)
+		}
+	}
+	return seq
+}
+
+// Options configures one load-generation session.
+type Options struct {
+	// BaseURL is the daemon under load, e.g. "http://localhost:8080".
+	BaseURL string
+	// Mix is the weighted job-kind mix (default: all "run").
+	Mix []MixEntry
+	// Concurrency is the ramp: one measurement step per worker count.
+	Concurrency []int
+	// Requests is the request budget per step.
+	Requests int
+	// Cycles is the base per-job cycle budget.
+	Cycles int64
+	// Variants is how many distinct specs the generator cycles through.
+	// Identical specs coalesce on the daemon's canonical hash, so a
+	// small variant pool turns the benchmark into a cache test; the
+	// default (one variant per request across the whole ramp) defeats
+	// deduplication entirely by giving every request its own cycle
+	// budget.
+	Variants int
+	// Client is the HTTP client (default: a 30s-timeout client).
+	Client *http.Client
+}
+
+// StepResult is one concurrency step's measurement.
+type StepResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
+}
+
+// Knee marks where the latency curve bends: the last ramp step that
+// still bought meaningful throughput for its added concurrency.
+type Knee struct {
+	Concurrency int     `json:"concurrency"`
+	Throughput  float64 `json:"throughput_rps"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// Report is the session's full result, shaped for JSON.
+type Report struct {
+	BaseURL string       `json:"base_url"`
+	Mix     string       `json:"mix"`
+	Steps   []StepResult `json:"steps"`
+	Knee    *Knee        `json:"knee,omitempty"`
+}
+
+// kneeGainFrac is the marginal-throughput threshold for the knee
+// heuristic: a ramp step must improve throughput by at least this
+// fraction over its predecessor to count as still scaling.
+const kneeGainFrac = 0.10
+
+// FindKnee locates the latency-curve knee in a ramp: the last step
+// whose throughput improved by at least kneeGainFrac over the previous
+// step. Steps past the knee add latency without adding throughput.
+// Returns nil for ramps too short to bend (fewer than two steps).
+func FindKnee(steps []StepResult) *Knee {
+	if len(steps) < 2 {
+		return nil
+	}
+	knee := steps[0]
+	for _, s := range steps[1:] {
+		if s.Throughput >= knee.Throughput*(1+kneeGainFrac) {
+			knee = s
+		}
+	}
+	return &Knee{Concurrency: knee.Concurrency, Throughput: knee.Throughput, P99MS: knee.P99MS}
+}
+
+// quantile returns the q-quantile of sorted (ascending) samples by
+// nearest-rank (rounding up, so p99 of a small sample reads the tail,
+// not the body).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q * float64(len(sorted)-1)))
+	return sorted[idx]
+}
+
+// summarize folds per-request latencies (milliseconds) into one step
+// result.
+func summarize(concurrency int, latencies []float64, errors int, elapsed time.Duration) StepResult {
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	res := StepResult{
+		Concurrency: concurrency,
+		Requests:    len(latencies),
+		Errors:      errors,
+		Seconds:     elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(sorted) > 0 {
+		res.MeanMS = sum / float64(len(sorted))
+		res.P50MS = quantile(sorted, 0.50)
+		res.P95MS = quantile(sorted, 0.95)
+		res.P99MS = quantile(sorted, 0.99)
+		res.MaxMS = sorted[len(sorted)-1]
+	}
+	return res
+}
+
+// specBody renders the i-th generated spec. Variants are distinct
+// cycle budgets (base + variant) — distinct canonical hashes, so the
+// daemon cannot answer the load from its result cache.
+func specBody(cycles int64, variants, i int) []byte {
+	if variants > 1 {
+		cycles += int64(i % variants)
+	}
+	return []byte(fmt.Sprintf(`{
+	  "design": {
+	    "masters": [{"name": "dma", "domain": "acc",
+	      "generator": {"kind": "stream", "window": {"lo": 0, "hi": "0x40000"},
+	                    "write": true, "burst": "INCR8"}}],
+	    "slaves": [{"name": "mem", "domain": "sim", "kind": "sram",
+	      "region": {"lo": 0, "hi": "0x80000"}}]
+	  },
+	  "run": {"mode": "als", "cycles": %d}
+	}`, cycles))
+}
+
+// Run drives the full concurrency ramp against the daemon and returns
+// the per-step measurements with the located knee.
+func Run(opts Options) (*Report, error) {
+	if opts.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: request budget must be positive")
+	}
+	if len(opts.Concurrency) == 0 {
+		opts.Concurrency = []int{1, 2, 4, 8}
+	}
+	if len(opts.Mix) == 0 {
+		opts.Mix = []MixEntry{{Kind: "run", Weight: 1}}
+	}
+	if opts.Variants <= 0 {
+		opts.Variants = opts.Requests * len(opts.Concurrency)
+	}
+	if opts.Cycles <= 0 {
+		opts.Cycles = 5000
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	seq := schedule(opts.Mix)
+	var mixNames []string
+	for _, m := range opts.Mix {
+		mixNames = append(mixNames, fmt.Sprintf("%s=%d", m.Kind, m.Weight))
+	}
+	rep := &Report{BaseURL: opts.BaseURL, Mix: strings.Join(mixNames, ",")}
+
+	for si, c := range opts.Concurrency {
+		if c < 1 {
+			return nil, fmt.Errorf("loadgen: concurrency %d", c)
+		}
+		// base offsets the spec-variant index so later ramp steps do
+		// not replay earlier steps' specs into the daemon's cache.
+		step, err := runStep(client, opts, seq, c, si*opts.Requests)
+		if err != nil {
+			return nil, err
+		}
+		rep.Steps = append(rep.Steps, step)
+	}
+	rep.Knee = FindKnee(rep.Steps)
+	return rep, nil
+}
+
+// runStep fires one step's request budget from c workers, measuring
+// per-request latency.
+func runStep(client *http.Client, opts Options, seq []string, c, base int) (StepResult, error) {
+	latencies := make([]float64, opts.Requests)
+	errs := make([]error, opts.Requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.Requests {
+					return
+				}
+				body := specBody(opts.Cycles, opts.Variants, base+i)
+				t0 := time.Now()
+				errs[i] = oneRequest(client, opts.BaseURL, seq[i%len(seq)], body)
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1e3
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := latencies[:0]
+	errors := 0
+	for i := range latencies {
+		if errs[i] != nil {
+			errors++
+			continue
+		}
+		ok = append(ok, latencies[i])
+	}
+	return summarize(c, ok, errors, elapsed), nil
+}
+
+// oneRequest issues a single job of the given kind and waits for its
+// result.
+func oneRequest(client *http.Client, base, kind string, body []byte) error {
+	switch kind {
+	case "run":
+		return expectOK(client.Post(base+"/v1/run", "application/json", bytes.NewReader(body)))
+	case "job":
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, data)
+		}
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(data, &info); err != nil {
+			return err
+		}
+		return expectOK(client.Get(base + "/v1/jobs/" + info.ID + "/result"))
+	default:
+		return fmt.Errorf("unknown job kind %q", kind)
+	}
+}
+
+// expectOK drains a response and converts non-200 statuses to errors.
+func expectOK(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

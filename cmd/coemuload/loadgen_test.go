@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("run=3,job=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0] != (MixEntry{"run", 3}) || mix[1] != (MixEntry{"job", 1}) {
+		t.Fatalf("mix = %+v", mix)
+	}
+	seq := schedule(mix)
+	if len(seq) != 4 || seq[0] != "run" || seq[3] != "job" {
+		t.Fatalf("schedule = %v", seq)
+	}
+	if _, err := ParseMix("sweep=1"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseMix("run=0"); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := ParseMix(""); err == nil {
+		t.Error("empty mix accepted")
+	}
+}
+
+func TestParseRamp(t *testing.T) {
+	ramp, err := parseRamp("1, 2,4")
+	if err != nil || len(ramp) != 3 || ramp[2] != 4 {
+		t.Fatalf("ramp = %v, %v", ramp, err)
+	}
+	if _, err := parseRamp("0"); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+	if _, err := parseRamp("a"); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestQuantileAndSummarize(t *testing.T) {
+	lat := []float64{5, 1, 3, 2, 4} // 1..5 ms
+	s := summarize(2, lat, 1, time.Second)
+	if s.Requests != 5 || s.Errors != 1 || s.Concurrency != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Throughput != 5 {
+		t.Errorf("throughput = %v, want 5 req/s", s.Throughput)
+	}
+	if s.MeanMS != 3 || s.P50MS != 3 || s.MaxMS != 5 {
+		t.Errorf("mean/p50/max = %v/%v/%v", s.MeanMS, s.P50MS, s.MaxMS)
+	}
+	if s.P99MS != 5 {
+		t.Errorf("p99 = %v, want 5", s.P99MS)
+	}
+	empty := summarize(1, nil, 3, time.Second)
+	if empty.Requests != 0 || empty.P99MS != 0 || empty.Errors != 3 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}
+
+func TestFindKnee(t *testing.T) {
+	steps := []StepResult{
+		{Concurrency: 1, Throughput: 100, P99MS: 10},
+		{Concurrency: 2, Throughput: 190, P99MS: 11},
+		{Concurrency: 4, Throughput: 360, P99MS: 13},
+		{Concurrency: 8, Throughput: 380, P99MS: 25}, // +5%: saturated
+		{Concurrency: 16, Throughput: 385, P99MS: 60},
+	}
+	knee := FindKnee(steps)
+	if knee == nil || knee.Concurrency != 4 {
+		t.Fatalf("knee = %+v, want concurrency 4", knee)
+	}
+	if FindKnee(steps[:1]) != nil {
+		t.Error("one-step ramp produced a knee")
+	}
+	// A ramp that never stops scaling knees at its last step.
+	linear := []StepResult{
+		{Concurrency: 1, Throughput: 100},
+		{Concurrency: 2, Throughput: 200},
+		{Concurrency: 4, Throughput: 400},
+	}
+	if k := FindKnee(linear); k == nil || k.Concurrency != 4 {
+		t.Errorf("linear knee = %+v, want last step", k)
+	}
+}
+
+func TestSpecVariantsDefeatDedup(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		seen[string(specBody(5000, 8, i))] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("8 requests over 8 variants produced %d distinct specs", len(seen))
+	}
+	// variants=1 pins one spec: the cache-measurement mode.
+	if string(specBody(5000, 1, 0)) != string(specBody(5000, 1, 7)) {
+		t.Fatal("variants=1 produced distinct specs")
+	}
+}
+
+// TestRunAgainstStubDaemon drives the full ramp against a stub daemon
+// and checks the report shape, the mixed endpoints, and that the spec
+// jitter reaches the server.
+func TestRunAgainstStubDaemon(t *testing.T) {
+	var mu sync.Mutex
+	cyclesSeen := map[int64]bool{}
+	runCalls, jobCalls := 0, 0
+
+	mux := http.NewServeMux()
+	record := func(r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var sp struct {
+			Run struct {
+				Cycles int64 `json:"cycles"`
+			} `json:"run"`
+		}
+		json.Unmarshal(body, &sp)
+		mu.Lock()
+		cyclesSeen[sp.Run.Cycles] = true
+		mu.Unlock()
+	}
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		mu.Lock()
+		runCalls++
+		mu.Unlock()
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		mu.Lock()
+		jobCalls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id": "job-000001"}`))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	rep, err := Run(Options{
+		BaseURL:     ts.URL,
+		Mix:         []MixEntry{{"run", 1}, {"job", 1}},
+		Concurrency: []int{1, 2},
+		Requests:    12,
+		Cycles:      5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(rep.Steps))
+	}
+	for _, s := range rep.Steps {
+		if s.Requests != 12 || s.Errors != 0 {
+			t.Fatalf("step %+v, want 12 clean requests", s)
+		}
+		if s.Throughput <= 0 || s.P99MS < s.P50MS {
+			t.Fatalf("implausible step %+v", s)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if runCalls == 0 || jobCalls == 0 {
+		t.Fatalf("mix not exercised: run=%d job=%d", runCalls, jobCalls)
+	}
+	// Default variants span the whole ramp: every request in every
+	// step carries a distinct cycle budget, so nothing coalesces on
+	// the daemon's canonical hash.
+	if len(cyclesSeen) != 24 {
+		t.Fatalf("saw %d distinct cycle budgets, want 24 (dedup-defeating jitter)", len(cyclesSeen))
+	}
+}
+
+// TestRunErrorsCounted checks that failing requests land in the error
+// count, not the latency distribution.
+func TestRunErrorsCounted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rep, err := Run(Options{BaseURL: ts.URL, Concurrency: []int{2}, Requests: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps[0].Errors != 6 || rep.Steps[0].Requests != 0 {
+		t.Fatalf("step = %+v, want 6 errors and 0 clean requests", rep.Steps[0])
+	}
+}

@@ -1,0 +1,118 @@
+// Command coemuload generates load against a running coemud daemon and
+// reports the latency/throughput curve: per-request p50/p95/p99 wall
+// time and requests-per-second at each step of a concurrency ramp,
+// plus the located knee — the last concurrency that still bought
+// meaningful throughput, past which added clients only buy latency.
+//
+//	coemud -addr :8080 &
+//	coemuload -addr http://localhost:8080 -n 200 -ramp 1,2,4,8,16
+//	coemuload -addr http://localhost:8080 -mix run=3,job=1 -out report.json
+//
+// The job mix is weighted: "run" issues synchronous POST /v1/run
+// requests, "job" the asynchronous submit-then-wait pair. Generated
+// specs default to one distinct cycle budget per request so the
+// daemon's canonical-hash deduplication cannot answer the load from
+// its cache; -variants narrows the pool to measure cache behavior
+// instead (e.g. -variants 1 makes every request after the first a
+// cache hit).
+//
+// The human-readable table goes to stdout; -out writes the full
+// measurement as JSON for dashboards and CI artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "daemon base URL")
+	n := flag.Int("n", 100, "requests per ramp step")
+	ramp := flag.String("ramp", "1,2,4,8", "comma-separated concurrency ramp")
+	mixFlag := flag.String("mix", "run=1", "weighted job mix, e.g. run=3,job=1")
+	cycles := flag.Int64("cycles", 5000, "base cycle budget per generated job")
+	variants := flag.Int("variants", 0, "distinct spec variants (0 = one per request; 1 = all duplicates)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	out := flag.String("out", "", "write the JSON report to this file")
+	flag.Parse()
+
+	mix, err := ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	concurrency, err := parseRamp(*ramp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	rep, err := Run(Options{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Mix:         mix,
+		Concurrency: concurrency,
+		Requests:    *n,
+		Cycles:      *cycles,
+		Variants:    *variants,
+		Client:      &http.Client{Timeout: *timeout},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	printReport(rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// parseRamp parses "1,2,4,8" into the concurrency steps.
+func parseRamp(s string) ([]int, error) {
+	var ramp []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("ramp: bad concurrency %q", part)
+		}
+		ramp = append(ramp, c)
+	}
+	if len(ramp) == 0 {
+		return nil, fmt.Errorf("ramp: empty")
+	}
+	return ramp, nil
+}
+
+// printReport renders the measurement as a table plus the knee line.
+func printReport(rep *Report) {
+	fmt.Printf("target %s, mix %s\n", rep.BaseURL, rep.Mix)
+	fmt.Printf("%6s %8s %7s %10s %9s %9s %9s %9s\n",
+		"conc", "reqs", "errs", "req/s", "mean ms", "p50 ms", "p95 ms", "p99 ms")
+	for _, s := range rep.Steps {
+		fmt.Printf("%6d %8d %7d %10.1f %9.2f %9.2f %9.2f %9.2f\n",
+			s.Concurrency, s.Requests, s.Errors, s.Throughput,
+			s.MeanMS, s.P50MS, s.P95MS, s.P99MS)
+	}
+	if rep.Knee != nil {
+		fmt.Printf("knee: concurrency %d (%.1f req/s, p99 %.2f ms) — beyond this, added clients buy latency, not throughput\n",
+			rep.Knee.Concurrency, rep.Knee.Throughput, rep.Knee.P99MS)
+	}
+}

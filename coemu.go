@@ -302,6 +302,26 @@ func IPROVEStack() TransportStack { return device.IPROVE() }
 
 // Trace output.
 
+// Protocol tracing re-exported so library users can attach a recorder
+// via Config.Tracer and export what it captured.
+type (
+	// TraceRecorder is the ring-buffered protocol-event recorder
+	// accepted by Config.Tracer.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded protocol event.
+	TraceEvent = trace.Event
+)
+
+// NewTraceRecorder returns a recorder whose ring holds up to the given
+// number of events (0 picks the default capacity).
+func NewTraceRecorder(ring int) *TraceRecorder { return trace.NewRecorder(ring) }
+
+// WriteChromeTrace writes recorded events in Chrome trace_event form,
+// loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChromeTrace(w, events)
+}
+
 // WriteVCD dumps a trace as a VCD waveform.
 func WriteVCD(w io.Writer, module string, cycles []CycleState, timescaleNs int) error {
 	return trace.WriteVCD(w, module, cycles, timescaleNs)

@@ -47,6 +47,7 @@ import (
 	"coemu/internal/predict"
 	"coemu/internal/rollback"
 	"coemu/internal/stats"
+	"coemu/internal/trace"
 	"coemu/internal/vclock"
 )
 
@@ -177,6 +178,13 @@ type Config struct {
 	// AdaptiveThreshold is the misprediction-rate EWMA above which the
 	// governor forces conservative operation. Default 0.35.
 	AdaptiveThreshold float64
+	// Tracer, when non-nil, records cycle-granular protocol events
+	// (run-ahead spans, mispredictions, rollbacks, batch commits,
+	// channel flushes) into a ring buffer for post-run export. It is a
+	// host-side observability hook: the modeled run is bit-identical
+	// with and without it, recording never allocates, and a nil Tracer
+	// costs one pointer check per event site.
+	Tracer *trace.Recorder
 }
 
 // DefaultCycleBatch is the predicted-quiescence batch cap used when
@@ -337,6 +345,14 @@ type Engine struct {
 	// (nil outside one, and for plain Run — a nil channel is never
 	// ready, so the per-cycle check costs one non-blocking select).
 	done <-chan struct{}
+
+	// consRunStart and consRunN coalesce contiguous conservative cycles
+	// into one trace span: per-cycle events would flood the tracer ring
+	// during long conservative stretches. The open span is flushed when
+	// a transition starts or the run ends. Only maintained with a
+	// tracer attached.
+	consRunStart int64
+	consRunN     int64
 }
 
 // errCanceled is the engine-internal cancellation sentinel. The cycle
@@ -463,6 +479,41 @@ func (e *Engine) commitTraceN(cs *amba.CycleState, n int64) error {
 	return nil
 }
 
+// traceEvent records one protocol event when a tracer is attached. The
+// nil check is the entire disabled-path cost: the event is built on the
+// caller's stack and Record never allocates.
+func (e *Engine) traceEvent(ev trace.Event) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Record(ev)
+	}
+}
+
+// noteConservative extends the open conservative trace span by n cycles
+// committed at target position start, opening a new span when the
+// stretch is not contiguous with the open one.
+func (e *Engine) noteConservative(start, n int64) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	if e.consRunN > 0 && e.consRunStart+e.consRunN == start {
+		e.consRunN += n
+		return
+	}
+	e.flushConsTrace()
+	e.consRunStart, e.consRunN = start, n
+}
+
+// flushConsTrace emits the open conservative span, if any.
+func (e *Engine) flushConsTrace() {
+	if e.consRunN > 0 {
+		e.cfg.Tracer.Record(trace.Event{
+			Cycle: e.consRunStart, N: e.consRunN,
+			Kind: trace.EvConservative, Domain: trace.NoDomain,
+		})
+	}
+	e.consRunN = 0
+}
+
 // inactivePartial reports whether a per-cycle contribution is
 // inactive: no bus request, no write data, no slave reply, no split
 // release and at most an IDLE address phase. Committing an inactive
@@ -573,6 +624,7 @@ func (e *Engine) conservativeCycle() error {
 	e.consFull = *fullSim
 	e.stats.ConservativeCycles++
 	e.failEWMA *= ewmaDecay
+	e.noteConservative(e.stats.Committed, 1)
 	return e.commitTrace(&e.consFull)
 }
 
@@ -635,6 +687,11 @@ func (e *Engine) batchConservative(cycles int64, decl declinePair) error {
 	for i := int64(0); i < n; i++ {
 		e.failEWMA *= ewmaDecay
 	}
+	e.traceEvent(trace.Event{
+		Cycle: e.stats.Committed, N: n,
+		Kind: trace.EvBatchCommit, Domain: trace.NoDomain, Arg: trace.BatchConservative,
+	})
+	e.noteConservative(e.stats.Committed, n)
 	return e.commitTraceN(&e.consFull, n)
 }
 
@@ -743,6 +800,12 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	lagger := e.domains[leader.ID().Other()]
 	e.stats.Transitions++
 	e.stats.TransitionsByLead[leader.ID()]++
+	if e.cfg.Tracer != nil {
+		e.flushConsTrace()
+		e.traceEvent(trace.Event{
+			Cycle: e.stats.Committed, Kind: trace.EvSync, Domain: uint8(leader.ID()),
+		})
+	}
 
 	committedLead := int64(0)
 	if e.cfg.PaperStrictTransitions {
@@ -763,6 +826,12 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 	snap := leader.Snapshot(&e.ledger, e.vars(leader))
 	e.stats.Stores++
 	e.lob.Reset()
+	// base is the target-cycle position the run-ahead (and its
+	// follow-up replay) starts at — every trace span below anchors to
+	// it.
+	base := e.stats.Committed
+	raStart := e.stats.RunAheadCycles
+	e.traceEvent(trace.Event{Cycle: base, Kind: trace.EvStore, Domain: uint8(leader.ID())})
 
 	if e.cfg.PaperStrictTransitions {
 		if _, reason := leader.Predict(); reason != DeclineNone {
@@ -828,8 +897,21 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 			leader.AdvanceQuiescent(&e.ledger, n)
 			e.stats.RunAheadCycles += n
 			e.stats.BatchedCycles += n
+			e.traceEvent(trace.Event{
+				Cycle: base + (e.stats.RunAheadCycles - raStart), N: n,
+				Kind: trace.EvBatchCommit, Domain: uint8(leader.ID()), Arg: trace.BatchRunAhead,
+			})
 		}
 	}
+	if ran := e.stats.RunAheadCycles - raStart; ran > 0 {
+		e.traceEvent(trace.Event{
+			Cycle: base, N: ran, Kind: trace.EvRunAhead, Domain: uint8(leader.ID()),
+		})
+	}
+	e.traceEvent(trace.Event{
+		Cycle: base + (e.stats.RunAheadCycles - raStart), Kind: trace.EvFlush,
+		Domain: uint8(leader.ID()), Arg: int64(e.lob.Words()),
+	})
 
 	// Flush (S-2): the whole LOB crosses the channel as one burst. Both
 	// endpoints are this engine, so the loopback path accounts the
@@ -879,13 +961,19 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 				return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
 			}
 			leader.CommitFrom(&actual)
+			e.traceEvent(trace.Event{
+				Cycle: base, N: committed - committedLead,
+				Kind: trace.EvFollowUp, Domain: uint8(lagger.ID()),
+			})
 			return committed, nil
 		}
 
 		e.stats.ChecksTotal++
 		match := laggerOut == entry.Pred
+		injected := false
 		if match && e.inject != nil && e.inject.Mispredict() {
 			match = false
+			injected = true
 			e.stats.Injected++
 		}
 		if match {
@@ -908,11 +996,29 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 				}
 				committed += n
 				i += int(n)
+				e.traceEvent(trace.Event{
+					Cycle: base + (committed - committedLead), N: n,
+					Kind: trace.EvBatchCommit, Domain: uint8(lagger.ID()), Arg: trace.BatchFollowUp,
+				})
 			}
 			continue
 		}
 		e.failEWMA = e.failEWMA*(1-ewmaBlend) + ewmaBlend
 		e.stats.Mispredicts++
+		if e.cfg.Tracer != nil {
+			arg := int64(0)
+			if injected {
+				arg = 1
+			}
+			e.traceEvent(trace.Event{
+				Cycle: base + int64(i), Kind: trace.EvMispredict,
+				Domain: uint8(lagger.ID()), Arg: arg,
+			})
+			e.traceEvent(trace.Event{
+				Cycle: base, N: committed - committedLead,
+				Kind: trace.EvFollowUp, Domain: uint8(lagger.ID()),
+			})
+		}
 
 		// Prediction failure (L-5): report the actual contribution.
 		ok, idx, actual, err := e.exchangeReport(lagger, false, i, laggerOut)
@@ -927,6 +1033,10 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		e.stats.Rollbacks++
 		e.stats.Restores++
 		e.rollLen.Add(i + 1)
+		e.traceEvent(trace.Event{
+			Cycle: base + int64(i), Kind: trace.EvRollback,
+			Domain: uint8(leader.ID()), Arg: int64(i + 1),
+		})
 		for r := 0; r <= i; r++ {
 			var replayOut amba.PartialState
 			leader.EvaluateInto(&e.ledger, &replayOut)
@@ -940,6 +1050,10 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 			leader.CommitFrom(remote)
 			e.stats.RollForthCycles++
 		}
+		e.traceEvent(trace.Event{
+			Cycle: base, N: int64(i + 1),
+			Kind: trace.EvRollForth, Domain: uint8(leader.ID()),
+		})
 		return committed, nil
 	}
 	return committed, fmt.Errorf("core: transition fell through (no final entry)")
@@ -1063,6 +1177,9 @@ func (e *Engine) RunContext(ctx context.Context, cycles int64) (*Report, error) 
 			return nil, e.runErr(ctx, err)
 		}
 		e.transLen.Add(int(n))
+	}
+	if e.cfg.Tracer != nil {
+		e.flushConsTrace()
 	}
 	// The Stats struct shallow-copies into the report, but Declines is a
 	// map: hand the report its own copy so it describes this run's

@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGoldenExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("coemu_runs_total", "Engine runs executed.")
+	g := reg.NewGauge("coemu_queue", "Jobs waiting in the queue.")
+	h := reg.NewHistogram("coemu_job_seconds", "Job wall time.", []float64{0.1, 1, 10})
+	v := reg.NewCounterVec("coemu_declines_total", "Prediction declines by reason.", "reason")
+
+	c.Add(3)
+	g.Set(2.5)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+	v.With("lob_full").Add(2)
+	v.With("idle").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP coemu_declines_total Prediction declines by reason.
+# TYPE coemu_declines_total counter
+coemu_declines_total{reason="idle"} 1
+coemu_declines_total{reason="lob_full"} 2
+# HELP coemu_job_seconds Job wall time.
+# TYPE coemu_job_seconds histogram
+coemu_job_seconds_bucket{le="0.1"} 1
+coemu_job_seconds_bucket{le="1"} 2
+coemu_job_seconds_bucket{le="10"} 2
+coemu_job_seconds_bucket{le="+Inf"} 3
+coemu_job_seconds_sum 100.55
+coemu_job_seconds_count 3
+# HELP coemu_queue Jobs waiting in the queue.
+# TYPE coemu_queue gauge
+coemu_queue 2.5
+# HELP coemu_runs_total Engine runs executed.
+# TYPE coemu_runs_total counter
+coemu_runs_total 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestParserRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("a_total", "A.").Add(7)
+	reg.NewGauge("b", "B gauge.").Set(-1.25)
+	h := reg.NewHistogram("c_seconds", "C latency.", []float64{0.001, 0.01, 0.1})
+	h.ObserveN(0.005, 4)
+	vec := reg.NewCounterVec("d_total", "D by dir.", "dir")
+	vec.With("sim_to_acc").Add(5)
+	vec.With("acc_to_sim").Add(6)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	byName := map[string]ParsedFamily{}
+	for _, f := range fams {
+		if f.Type == "" {
+			t.Errorf("family %s has no TYPE line", f.Name)
+		}
+		if f.Help == "" {
+			t.Errorf("family %s has no HELP text", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			t.Errorf("family %s has no samples", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	if got := len(fams); got != 4 {
+		t.Fatalf("parsed %d families, want 4", got)
+	}
+	if f := byName["a_total"]; f.Type != KindCounter || f.Samples[0].Value != 7 {
+		t.Errorf("a_total parsed as %+v", f)
+	}
+	if f := byName["b"]; f.Type != KindGauge || f.Samples[0].Value != -1.25 {
+		t.Errorf("b parsed as %+v", f)
+	}
+	// Histogram samples all map back to the c_seconds family: 4 buckets
+	// (incl. +Inf) + sum + count.
+	if f := byName["c_seconds"]; f.Type != KindHistogram || len(f.Samples) != 6 {
+		t.Errorf("c_seconds parsed as %+v", f)
+	}
+	if f := byName["d_total"]; len(f.Samples) != 2 {
+		t.Errorf("d_total parsed as %+v", f)
+	}
+}
+
+// TestCountersMonotoneAcrossScrapes pins the property CI asserts on the
+// live daemon: successive scrapes never show a counter going backwards.
+func TestCountersMonotoneAcrossScrapes(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("x_total", "X.")
+	scrape := func() map[string]float64 {
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseExposition(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]float64{}
+		for _, f := range fams {
+			if f.Type != KindCounter {
+				continue
+			}
+			for _, s := range f.Samples {
+				out[s.Name+s.Labels] = s.Value
+			}
+		}
+		return out
+	}
+	c.Add(1)
+	first := scrape()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	second := scrape()
+	for k, v := range first {
+		if second[k] < v {
+			t.Errorf("counter %s went backwards: %v -> %v", k, v, second[k])
+		}
+	}
+	if second["x_total"] != 42 {
+		t.Errorf("x_total = %v, want 42", second["x_total"])
+	}
+}
+
+func TestOnCollectRefreshesMirrors(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.NewGauge("m", "Mirrored.")
+	source := 0.0
+	reg.OnCollect(func() { g.Set(source) })
+	source = 9
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "m 9\n") {
+		t.Errorf("collect hook did not refresh gauge:\n%s", b.String())
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("h_total", "H.").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestHistogramBulkAndSpecials(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("d", "Depth.", []float64{1, 2, 4})
+	h.ObserveN(2, 10)
+	h.ObserveN(100, 1)
+	h.ObserveN(1, 0)  // no-op
+	h.ObserveN(1, -3) // no-op
+	if h.Count() != 11 {
+		t.Fatalf("count = %d, want 11", h.Count())
+	}
+	if h.Sum() != 120 {
+		t.Fatalf("sum = %v, want 120", h.Sum())
+	}
+	g := reg.NewGauge("inf", "Inf gauge.")
+	g.Set(math.Inf(1))
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "inf +Inf\n") {
+		t.Errorf("missing +Inf rendering:\n%s", b.String())
+	}
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Errorf("parse with specials: %v", err)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("cc_total", "C.")
+	g := reg.NewGauge("cg", "G.")
+	h := reg.NewHistogram("ch", "H.", []float64{1, 10})
+	vec := reg.NewCounterVec("cv_total", "V.", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j % 20))
+				vec.With([]string{"a", "b"}[i%2]).Inc()
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if got := vec.With("a").Value() + vec.With("b").Value(); got != 8000 {
+		t.Errorf("vec total = %d, want 8000", got)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"orphan_sample 1\n",
+		"# HELP a A.\na_bucket{le=\"1\"} 1\n",             // sample before TYPE
+		"# HELP a A.\n# TYPE a widget\n",                  // unknown type
+		"# HELP a A.\n# TYPE b counter\n",                 // TYPE does not match HELP
+		"# HELP a A.\n# TYPE a counter\na{x=\"1\" 2\n",    // unbalanced braces
+		"# HELP a A.\n# TYPE a counter\na notanumber\n",   // bad value
+		"# HELP a A.\n# TYPE a counter\n# HELP a A.\n",    // duplicate HELP
+		"# HELP a A.\n# TYPE a counter\n# TYPE a gauge\n", // duplicate TYPE
+	}
+	for _, doc := range bad {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("parse accepted malformed doc %q", doc)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample: a metric name (possibly a
+// histogram's _bucket/_sum/_count series), its rendered label set and
+// its value.
+type Sample struct {
+	Name   string
+	Labels string // the raw {...} suffix, "" when unlabeled
+	Value  float64
+}
+
+// ParsedFamily is one metric family read back from text exposition:
+// its HELP and TYPE metadata plus every sample that belongs to it.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    Kind
+	Samples []Sample
+}
+
+// ParseExposition reads Prometheus text exposition (format 0.0.4) and
+// returns its families in document order. It is strict about the shape
+// WritePrometheus guarantees — every sample preceded by its family's
+// HELP and TYPE lines, histogram series named after their family — so
+// the parser doubles as a round-trip validator in tests and smoke
+// checks.
+func ParseExposition(r io.Reader) ([]ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []ParsedFamily
+	byName := make(map[string]*ParsedFamily)
+	var current *ParsedFamily
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "# HELP "):
+			rest := strings.TrimPrefix(text, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("metrics: line %d: HELP without a metric name", line)
+			}
+			if _, dup := byName[name]; dup {
+				return nil, fmt.Errorf("metrics: line %d: duplicate HELP for %s", line, name)
+			}
+			out = append(out, ParsedFamily{Name: name, Help: help})
+			current = &out[len(out)-1]
+			byName[name] = current
+		case strings.HasPrefix(text, "# TYPE "):
+			rest := strings.TrimPrefix(text, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("metrics: line %d: malformed TYPE line", line)
+			}
+			if current == nil || current.Name != name {
+				return nil, fmt.Errorf("metrics: line %d: TYPE %s does not follow its HELP line", line, name)
+			}
+			if current.Type != "" {
+				return nil, fmt.Errorf("metrics: line %d: duplicate TYPE for %s", line, name)
+			}
+			switch Kind(typ) {
+			case KindCounter, KindGauge, KindHistogram:
+				current.Type = Kind(typ)
+			default:
+				return nil, fmt.Errorf("metrics: line %d: unknown metric type %q", line, typ)
+			}
+		case strings.HasPrefix(text, "#"):
+			// Other comments are legal exposition; skip.
+		default:
+			s, err := parseSample(text)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %w", line, err)
+			}
+			fam := familyOf(byName, s.Name)
+			if fam == nil {
+				return nil, fmt.Errorf("metrics: line %d: sample %s has no preceding HELP/TYPE", line, s.Name)
+			}
+			if fam.Type == "" {
+				return nil, fmt.Errorf("metrics: line %d: sample %s before its TYPE line", line, s.Name)
+			}
+			fam.Samples = append(fam.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// familyOf resolves a sample name to its family, accounting for the
+// histogram series suffixes.
+func familyOf(byName map[string]*ParsedFamily, sample string) *ParsedFamily {
+	if f, ok := byName[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(sample, suffix)
+		if !found {
+			continue
+		}
+		if f, ok := byName[base]; ok && f.Type == KindHistogram {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, label set and value.
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", text)
+		}
+		s.Name = text[:i]
+		s.Labels = text[i : j+1]
+		rest = strings.TrimSpace(text[j+1:])
+	} else {
+		name, val, ok := strings.Cut(text, " ")
+		if !ok {
+			return s, fmt.Errorf("sample %q has no value", text)
+		}
+		s.Name = name
+		rest = val
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %w", text, err)
+	}
+	s.Value = v
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	return s, nil
+}
+
+// parseValue parses a sample value, accepting the Prometheus special
+// forms.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

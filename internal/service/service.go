@@ -33,6 +33,7 @@ import (
 	"coemu/internal/rng"
 	"coemu/internal/spec"
 	"coemu/internal/store"
+	"coemu/internal/trace"
 )
 
 // Status is a job's lifecycle state.
@@ -90,6 +91,10 @@ type Options struct {
 	// spec does not carry its own plan. The store section is consumed
 	// by store.Open, not here. Nil injects nothing.
 	Faults *faultplan.Plan
+	// Metrics, when non-nil, receives latency and engine-protocol
+	// observations from every job (see NewMetrics). Nil disables
+	// instrumentation.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +149,16 @@ type Job struct {
 	pendingRefs int
 	ephemeral   bool
 
+	// watchers are live Watch channels; each receives a snapshot on
+	// every status change and is closed at the terminal one.
+	watchers []chan Info
+
+	// tracer holds the run's protocol event recorder when the spec set
+	// run.trace. Written by the executing worker before the terminal
+	// state publishes, read only after Done closes — the service mutex
+	// in finishLocked orders the two.
+	tracer *trace.Recorder
+
 	submitted time.Time
 	started   time.Time
 	ended     time.Time
@@ -192,11 +207,12 @@ type Service struct {
 	retain   []string        // job IDs in submission order, for pruning
 
 	// Cumulative counters surfaced by Counters.
-	engineRuns   int64
-	sweeps       int64
-	sweepPoints  int64
-	workerPanics int64
-	jobTimeouts  int64
+	engineRuns     int64
+	sweeps         int64
+	sweepPoints    int64
+	workerPanics   int64
+	jobTimeouts    int64
+	faultsInjected int64
 }
 
 // New starts a service with the given options.
@@ -283,7 +299,7 @@ func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
 		s.mu.Unlock()
 		return job, err
 	}
-	probeDisk := s.disk != nil
+	probeDisk := s.disk != nil && !sp.Run.Trace
 	s.mu.Unlock()
 
 	// Probe the persistent store outside the service lock: a store read
@@ -293,9 +309,11 @@ func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
 	// still wins.
 	var stored *Result
 	if probeDisk {
+		rstart := time.Now()
 		if data, ok := s.disk.Get(hash); ok {
 			stored = &Result{JSON: data}
 		}
+		s.opts.Metrics.observeStoreRead(time.Since(rstart))
 	}
 
 	s.mu.Lock()
@@ -333,6 +351,13 @@ func (s *Service) Submit(sp *spec.Spec, ephemeral bool) (*Job, error) {
 func (s *Service) submitFastLocked(sp *spec.Spec, hash string, ephemeral bool) (*Job, error, bool) {
 	if s.closed {
 		return nil, ErrClosed, true
+	}
+	if sp.Run.Trace {
+		// A traced submission wants the protocol event stream, which
+		// only a real engine run produces: skip every dedup layer and
+		// run fresh. run.trace is hash-excluded, so the result still
+		// lands in the cache for untraced duplicates.
+		return nil, nil, false
 	}
 	if res, ok := s.cache.Get(hash); ok {
 		return s.newCachedJobLocked(sp, hash, res, false), nil, true
@@ -488,31 +513,41 @@ type Counters struct {
 	StoreEntries   int   `json:"store_entries"`
 
 	// Fault observations: worker panics recovered (organic or
-	// injected), jobs failed on their run.timeout deadline, and store
-	// entries quarantined after failing content verification.
+	// injected), jobs failed on their run.timeout deadline, store
+	// entries quarantined after failing content verification, and
+	// service-layer faults fired by the active plan (slow runs and
+	// panics actually injected, before their outcome).
 	WorkerPanics     int64 `json:"worker_panics"`
 	JobTimeouts      int64 `json:"job_timeouts"`
 	StoreQuarantined int64 `json:"store_quarantined"`
+	FaultsInjected   int64 `json:"faults_injected"`
 
 	Jobs int `json:"jobs"`
 }
 
-// Counters snapshots the service-wide counters.
+// Counters snapshots the service-wide counters. The whole snapshot is
+// taken inside one critical section — cache and store statistics
+// included — so the fields are mutually consistent: a scrape can never
+// observe, say, an engine run without the cache miss that caused it.
+// (Lock order s.mu → cache.mu is the submission path's order; the
+// store's counters are plain atomics behind its own mutex and never
+// call back into the service.)
 func (s *Service) Counters() Counters {
-	hits, misses, size := s.cache.Stats()
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits, misses, size := s.cache.Stats()
 	c := Counters{
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheSize:    size,
-		EngineRuns:   s.engineRuns,
-		Sweeps:       s.sweeps,
-		SweepPoints:  s.sweepPoints,
-		WorkerPanics: s.workerPanics,
-		JobTimeouts:  s.jobTimeouts,
-		Jobs:         len(s.jobs),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheSize:      size,
+		EngineRuns:     s.engineRuns,
+		Sweeps:         s.sweeps,
+		SweepPoints:    s.sweepPoints,
+		WorkerPanics:   s.workerPanics,
+		JobTimeouts:    s.jobTimeouts,
+		FaultsInjected: s.faultsInjected,
+		Jobs:           len(s.jobs),
 	}
-	s.mu.Unlock()
 	if s.disk != nil {
 		st := s.disk.Stats()
 		c.StoreHits, c.StoreMisses = st.Hits, st.Misses
@@ -538,10 +573,16 @@ func (s *Service) runJob(job *Job) {
 	job.status = StatusRunning
 	job.started = time.Now()
 	s.engineRuns++
+	s.notifyLocked(job)
 	s.mu.Unlock()
+	s.opts.Metrics.observeQueueWait(job.started.Sub(job.submitted))
 
 	timeout := job.spec.Run.JobTimeout()
 	rep, err := s.executeJob(job, timeout)
+	s.opts.Metrics.observeJob(time.Since(job.started))
+	if err == nil {
+		s.opts.Metrics.observeReport(rep)
+	}
 
 	var res *Result
 	if err == nil {
@@ -551,9 +592,11 @@ func (s *Service) runJob(job *Job) {
 		// Write-through before the result becomes observable: once a
 		// waiter sees the job done, a restarted daemon can serve it. A
 		// store failure only costs persistence, never the run.
+		wstart := time.Now()
 		if perr := s.disk.Put(job.hash, res.JSON); perr != nil {
 			s.logf("store write-through for %s: %v", job.hash, perr)
 		}
+		s.opts.Metrics.observeStoreWrite(time.Since(wstart))
 	}
 
 	s.mu.Lock()
@@ -594,6 +637,7 @@ func (s *Service) executeJob(job *Job, timeout time.Duration) (rep *core.Report,
 	}
 	if f := s.serviceFaults(); f != nil {
 		if f.SlowRun > 0 && f.SlowDelayMS > 0 && s.faultHit(f.SlowRun) {
+			s.noteFaultInjected()
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -601,11 +645,25 @@ func (s *Service) executeJob(job *Job, timeout time.Duration) (rep *core.Report,
 			}
 		}
 		if f.WorkerPanic > 0 && s.faultHit(f.WorkerPanic) {
+			s.noteFaultInjected()
 			panic("faultplan: injected worker panic")
 		}
 	}
+	var rec *trace.Recorder
+	if job.spec.Run.Trace {
+		rec = trace.NewRecorder(job.spec.Run.TraceRing)
+		job.tracer = rec
+	}
 	chf, seed := s.jobChannelFaults(job)
-	return runSpec(ctx, job.spec, chf, seed)
+	return runSpec(ctx, job.spec, chf, seed, rec)
+}
+
+// noteFaultInjected counts one service-layer fault actually fired by
+// the active plan.
+func (s *Service) noteFaultInjected() {
+	s.mu.Lock()
+	s.faultsInjected++
+	s.mu.Unlock()
 }
 
 // serviceFaults returns the active plan's service section, if any.
@@ -661,17 +719,41 @@ func (s *Service) finishLocked(job *Job, st Status, res *Result, err error) {
 	if s.inflight[job.hash] == job {
 		delete(s.inflight, job.hash)
 	}
+	s.notifyLocked(job)
+	for _, ch := range job.watchers {
+		close(ch)
+	}
+	job.watchers = nil
 	// Release the job's context registration in s.ctx; leaving it would
 	// leak one context child per job for the service's lifetime.
 	job.cancel()
 	close(job.done)
 }
 
+// notifyLocked delivers the job's current snapshot to every watcher.
+// Sends are non-blocking: each watcher channel is buffered for the
+// full queued→running→terminal sequence, so a drop only happens to a
+// consumer that stopped reading — and the close still tells it the job
+// ended. Caller holds s.mu.
+func (s *Service) notifyLocked(job *Job) {
+	if len(job.watchers) == 0 {
+		return
+	}
+	info := job.infoLocked()
+	for _, ch := range job.watchers {
+		select {
+		case ch <- info:
+		default:
+		}
+	}
+}
+
 // runSpec compiles and executes a spec under ctx. chf, when non-nil,
 // is a service-level channel fault plan applied to the engine (a
 // spec-level plan was already compiled in and is never overridden —
-// jobChannelFaults returns nil for those specs).
-func runSpec(ctx context.Context, sp *spec.Spec, chf *faultplan.ChannelFault, seed uint64) (*core.Report, error) {
+// jobChannelFaults returns nil for those specs). rec, when non-nil,
+// attaches the protocol event tracer.
+func runSpec(ctx context.Context, sp *spec.Spec, chf *faultplan.ChannelFault, seed uint64, rec *trace.Recorder) (*core.Report, error) {
 	d, cfg, err := sp.Compile()
 	if err != nil {
 		return nil, err
@@ -680,6 +762,7 @@ func runSpec(ctx context.Context, sp *spec.Spec, chf *faultplan.ChannelFault, se
 		cfg.ChannelFaults = chf
 		cfg.ChannelFaultSeed = seed
 	}
+	cfg.Tracer = rec
 	e, err := core.NewEngine(d, cfg)
 	if err != nil {
 		return nil, err
@@ -725,6 +808,43 @@ func (j *Job) infoLocked() Info {
 		info.Ended = &t
 	}
 	return info
+}
+
+// Watch returns a channel delivering a status snapshot for every
+// lifecycle change — the current state immediately, then one per
+// transition — closed once the job is terminal. The channel is
+// buffered for the full lifecycle sequence; a consumer that stops
+// reading misses intermediate snapshots but still observes the close.
+func (j *Job) Watch() <-chan Info {
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	// Capacity 4 covers the longest sequence (initial snapshot, queued
+	// → running, running → terminal) with room to spare.
+	ch := make(chan Info, 4)
+	ch <- j.infoLocked()
+	if j.finished {
+		close(ch)
+		return ch
+	}
+	j.watchers = append(j.watchers, ch)
+	return ch
+}
+
+// Trace returns the job's recorded protocol events. It is only
+// available after the job finished, and only for jobs whose spec set
+// run.trace that actually executed an engine run — a submission
+// answered from the cache or store replays a stored result and records
+// nothing.
+func (j *Job) Trace() (*trace.Recorder, error) {
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	if !j.finished {
+		return nil, fmt.Errorf("service: job %s still %s", j.id, j.status)
+	}
+	if j.tracer == nil {
+		return nil, fmt.Errorf("service: job %s has no trace (submit with run.trace to record one)", j.id)
+	}
+	return j.tracer, nil
 }
 
 // Result returns the job's terminal outcome; call only after Done is

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"coemu/internal/spec"
 )
@@ -122,7 +123,9 @@ func (sw *SweepJob) run(ctx context.Context, points []*spec.Spec, ephemeral bool
 
 	jobs := make([]*Job, len(points))
 	errs := make([]error, len(points))
+	submitted := make([]time.Time, len(points))
 	for i, sp := range points {
+		submitted[i] = time.Now()
 		jobs[i], errs[i] = sw.submitPoint(ctx, sp, ephemeral)
 	}
 
@@ -133,6 +136,7 @@ func (sw *SweepJob) run(ctx context.Context, points []*spec.Spec, ephemeral bool
 			pr.Result, pr.Err = job.Wait(ctx)
 			info := job.Info()
 			pr.Cached, pr.FromStore = info.Cached, info.FromStore
+			sw.svc.opts.Metrics.observeSweepPoint(time.Since(submitted[i]))
 		}
 		sw.svc.mu.Lock()
 		sw.completed++

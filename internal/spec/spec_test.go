@@ -345,3 +345,38 @@ func TestDeltaCadenceNormalizationAndHash(t *testing.T) {
 		t.Fatal("negative delta_cadence validated")
 	}
 }
+
+func TestTraceKnobsHostOnlyAndHashExcluded(t *testing.T) {
+	// The tracer is a host-side observer: reports are bit-identical
+	// with and without it (pinned by the tracer differential test in
+	// internal/core), so trace/trace_ring must not split the result
+	// cache. Both hash as absent, so canonical hashes — and every entry
+	// of a pre-existing persistent store — are unchanged from before
+	// the knobs existed.
+	h0, _ := parseOK(t, streamSpecJSON).CanonicalHash()
+	s1 := parseOK(t, streamSpecJSON)
+	s1.Run.Trace = true
+	s1.Run.TraceRing = 4096
+	h1, err := s1.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h0 {
+		t.Fatal("trace knobs changed the canonical hash")
+	}
+	// Normalization preserves the knobs so the executing layer (which
+	// attaches the recorder) still sees them.
+	n, err := s1.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Run.Trace || n.Run.TraceRing != 4096 {
+		t.Fatalf("normalization dropped trace knobs: trace=%v ring=%d", n.Run.Trace, n.Run.TraceRing)
+	}
+	// Negative ring sizes are rejected.
+	bad := parseOK(t, streamSpecJSON)
+	bad.Run.TraceRing = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative trace_ring validated")
+	}
+}

@@ -83,6 +83,15 @@ func (h *Hist) Add(v int) {
 // N returns the observation count.
 func (h *Hist) N() int64 { return h.total }
 
+// Each calls fn once per distinct observed value in ascending order,
+// with that value's occurrence count. It lets exporters re-bin the
+// histogram without reaching into its representation.
+func (h *Hist) Each(fn func(v int, count int64)) {
+	for _, k := range h.sortedKeys() {
+		fn(k, h.counts[k])
+	}
+}
+
 // Count returns the occurrences of value v.
 func (h *Hist) Count(v int) int64 { return h.counts[v] }
 
