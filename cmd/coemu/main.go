@@ -11,6 +11,17 @@
 // the declarative JSON spec (see internal/spec) and the other scenario
 // flags are ignored.
 //
+// With -remote-domain addr (requires -spec), the run goes
+// cross-process: the accelerator domain is hosted by a
+// `coemud -domain-serve addr` process, the spec ships in the connect
+// handshake, and both processes run mirrored lockstep engines over the
+// TCP channel (see internal/remote). The printed report is
+// bit-identical to the in-process run. If the spec sets
+// run.measured_latency, the client also samples the real link RTT and
+// prints a masked-performance estimate — what the prediction
+// packetizing would deliver against the measured link instead of the
+// modeled channel — to stderr.
+//
 // With -trace-out trace.json, the run records its protocol events —
 // conservative stretches, run-ahead and follow-up spans, rollbacks,
 // channel flushes — into a ring buffer (-trace-ring bounds it) and
@@ -20,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +39,7 @@ import (
 	"coemu"
 	"coemu/internal/channel"
 	"coemu/internal/ip"
+	"coemu/internal/remote"
 	"coemu/internal/trace"
 	"coemu/internal/vclock"
 	"coemu/internal/workload"
@@ -47,6 +60,7 @@ func main() {
 	predictStarts := flag.Bool("predict-starts", false, "extension: predict burst starts by stride")
 	adaptive := flag.Bool("adaptive", false, "extension: adaptive conservative fallback governor")
 	specPath := flag.String("spec", "", "run a declarative JSON spec file (ignores the scenario flags)")
+	remoteDomain := flag.String("remote-domain", "", "dial a `coemud -domain-serve` accelerator-domain host at this TCP address and run -spec cross-process")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event file (Perfetto-loadable) of the run's protocol events")
 	traceRing := flag.Int("trace-ring", 0, "protocol trace ring capacity in events (0 = default)")
 	flag.Parse()
@@ -54,6 +68,40 @@ func main() {
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(*traceRing)
+	}
+
+	if *remoteDomain != "" {
+		if *specPath == "" {
+			fmt.Fprintln(os.Stderr, "-remote-domain requires -spec: the spec ships to the domain host in the handshake")
+			os.Exit(2)
+		}
+		s, err := coemu.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res, err := remote.Run(context.Background(), *remoteDomain, s, remote.RunOptions{Tracer: rec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		print(res.Report)
+		st := res.Transport
+		fmt.Fprintf(os.Stderr, "transport: %d frames sent, %d received, %d retransmits, %d resyncs, %d reconnects\n",
+			st.Sent, st.Received, st.Retransmits, st.Resyncs, st.Reconnects)
+		if m := res.Measured; m != nil {
+			fmt.Fprintf(os.Stderr, "measured link: rtt mean %v p99 %v (%d samples)\n", m.RTTMean, m.RTTP99, m.Samples)
+			fmt.Fprintf(os.Stderr, "masked performance against measured link: %.0f cyc/s\n", m.MaskedPerf)
+		}
+		if rec != nil {
+			// Fold the transport's connect/resync/retransmit events into
+			// the protocol trace so the wire shows up as its own track.
+			for _, ev := range res.Events {
+				rec.Record(ev)
+			}
+		}
+		writeTrace(*traceOut, rec)
+		return
 	}
 
 	if *specPath != "" {

@@ -55,6 +55,14 @@
 // writes at the store, packet duplication/corruption/delay on every
 // job's channel. All injection is off without the flag.
 //
+// With -domain-serve addr, the daemon runs in a different mode
+// entirely: instead of the HTTP service it hosts the accelerator
+// domain for cross-process co-emulation (see internal/remote). A
+// `coemu -remote-domain addr -spec spec.json` client dials in, ships
+// its spec in the connect handshake, and both processes run mirrored
+// lockstep engines over the TCP channel; the daemon is spec-agnostic
+// and verifies the client's canonical spec hash before running.
+//
 // Observability: GET /metrics serves Prometheus text exposition
 // (disable with -metrics=false) — job/queue/store latency histograms
 // and engine-protocol counters from internal/service plus mirrored
@@ -81,8 +89,10 @@ import (
 	"syscall"
 	"time"
 
+	"coemu/internal/channel/tcpchan"
 	"coemu/internal/faultplan"
 	"coemu/internal/metrics"
+	"coemu/internal/remote"
 	"coemu/internal/service"
 	"coemu/internal/spec"
 	"coemu/internal/store"
@@ -102,6 +112,7 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles at /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	domainServe := flag.String("domain-serve", "", "host the accelerator domain for cross-process co-emulation on this TCP address instead of the HTTP service")
 	flag.Parse()
 
 	level, err := parseLogLevel(*logLevel)
@@ -109,6 +120,11 @@ func main() {
 		log.Fatal(err)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *domainServe != "" {
+		runDomainServe(*domainServe, logger)
+		return
+	}
 
 	var plan *faultplan.Plan
 	if *faultPlanPath != "" {
@@ -176,6 +192,49 @@ func main() {
 		logger.Warn("shutdown", "err", err)
 	}
 	<-svcClosed
+}
+
+// runDomainServe hosts the accelerator domain for cross-process
+// co-emulation: accept a mirrored-lockstep session, run the
+// accelerator-authoritative engine on the spec shipped in the
+// handshake, cross-check the final report with the client, repeat. A
+// SIGINT/SIGTERM closes the listener and returns.
+func runDomainServe(addr string, logger *slog.Logger) {
+	l, err := tcpchan.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger.Info("accelerator domain listening", "addr", l.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = remote.Serve(ctx, l, remote.ServeOptions{
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+		OnSession: func(info remote.SessionInfo) {
+			st := info.Transport
+			logger.Info("session transport",
+				"hash", shortHash(info.Hash),
+				"frames_sent", st.Sent, "frames_received", st.Received,
+				"retransmits", st.Retransmits, "resyncs", st.Resyncs,
+				"reconnects", st.Reconnects, "wire_faults", st.WireFaults,
+				"rtt_mean", st.RTTMean, "rtt_p99", st.RTTP99, "rtt_samples", st.RTTSamples)
+		},
+	})
+	if err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	logger.Info("domain server stopped")
+}
+
+// shortHash abbreviates a canonical spec hash for log lines.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }
 
 // newMux builds the HTTP API around a job service. sweepMax caps how

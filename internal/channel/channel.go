@@ -70,26 +70,18 @@ func (s *Stats) TotalWords() int64 { return s.Words[0] + s.Words[1] }
 // domains. It is deliberately synchronous and single-threaded: the
 // engine interleaves the domains deterministically, and the channel's
 // job is bookkeeping, not concurrency.
+//
+// The queueing itself is delegated to an embedded Queues transport;
+// Channel layers the ledger charging and Stats collection on top. The
+// engine holds the accounting and the physical transport separately
+// (so the latter can be a socket in another process), but Channel's
+// combined Send/Recv API remains for callers that want both in one
+// object.
 type Channel struct {
 	stack  device.Stack
 	ledger *vclock.Ledger
 	stats  Stats
-	queues [2]queue
-
-	// free is the packet free-list: word buffers handed back via Release
-	// after the receiver unpacked them, recycled by the next Send. In the
-	// steady state every packet buffer comes from here, so the per-cycle
-	// exchange paths allocate nothing.
-	free [][]amba.Word
-}
-
-// queue is a FIFO of packets. Dequeuing advances head instead of
-// reslicing so the backing array is reused once the queue drains
-// (reslicing q[1:] forever walks the buffer forward and forces append
-// to reallocate).
-type queue struct {
-	pkts [][]amba.Word
-	head int
+	q      Queues
 }
 
 // New creates a channel over the given device stack, charging access
@@ -114,19 +106,7 @@ func (c *Channel) Send(d Dir, payload []amba.Word) {
 	// Accounting is shared with the loopback path so the two can never
 	// drift: Send is Account plus the physical packet.
 	c.Account(d, len(payload))
-	// Copy into a pooled buffer: the sender may reuse its slice.
-	var pkt []amba.Word
-	if n := len(c.free); n > 0 {
-		pkt = c.free[n-1][:0]
-		c.free[n-1] = nil
-		c.free = c.free[:n-1]
-	}
-	pkt = append(pkt, payload...)
-	if pkt == nil {
-		pkt = []amba.Word{} // keep zero-length packets non-nil
-	}
-	q := &c.queues[d]
-	q.pkts = append(q.pkts, pkt)
+	c.q.Send(d, payload)
 }
 
 // Account charges one access of the given payload size — ledger cost,
@@ -160,16 +140,9 @@ func (c *Channel) AccountN(d Dir, words int, n int64) {
 // The returned slice is owned by the caller until it hands it back with
 // Release (or drops it; Release is an optimization, not an obligation).
 func (c *Channel) Recv(d Dir) []amba.Word {
-	q := &c.queues[d]
-	if q.head >= len(q.pkts) {
+	pkt, err := c.q.Recv(d)
+	if err != nil {
 		panic(fmt.Sprintf("channel: recv on empty %v queue", d))
-	}
-	pkt := q.pkts[q.head]
-	q.pkts[q.head] = nil
-	q.head++
-	if q.head == len(q.pkts) {
-		q.pkts = q.pkts[:0]
-		q.head = 0
 	}
 	return pkt
 }
@@ -178,14 +151,10 @@ func (c *Channel) Recv(d Dir) []amba.Word {
 // receiver has fully decoded it. The caller must not touch the slice
 // afterwards: the next Send will overwrite it.
 func (c *Channel) Release(pkt []amba.Word) {
-	if cap(pkt) == 0 {
-		return
-	}
-	c.free = append(c.free, pkt)
+	c.q.Release(pkt)
 }
 
 // Pending returns the number of queued packets in direction d.
 func (c *Channel) Pending(d Dir) int {
-	q := &c.queues[d]
-	return len(q.pkts) - q.head
+	return c.q.Pending(d)
 }

@@ -19,40 +19,46 @@ var ErrFrameCorrupt = errors.New("channel: frame checksum mismatch (corrupt pack
 // frame was dropped between the endpoints.
 var ErrFrameLost = errors.New("channel: frame sequence gap (lost packet)")
 
-// FaultEndpoint wraps a Channel with seeded fault injection on the
+// FaultEndpoint wraps any Transport with seeded fault injection on the
 // wire path. Every packet is framed with a sequence number and a
 // checksum word, then (per the plan's probabilities) delayed,
 // duplicated, or bit-corrupted in flight. The receive side verifies
 // the checksum — surfacing corruption as ErrFrameCorrupt instead of
 // silent divergence — and drops duplicates by sequence number.
 //
-// Injection is host-side only: the modeled channel economics are
-// charged through the wrapped Channel's Account at the unframed
-// payload size, so a run that survives its faults produces the exact
-// ledger, stats, and report of a fault-free run.
+// Injection is host-side only and carries no accounting: the engine
+// charges the modeled channel economics at the unframed payload size
+// before handing the packet here, so a run that survives its faults
+// produces the exact ledger, stats, and report of a fault-free run.
+//
+// When the inner transport is a mirrored remote link that suppresses
+// sends in the peer-authoritative direction, the endpoint still draws
+// its rng and advances its sequence counter for those sends — both
+// processes run identical engines, so keeping the injection stream
+// identical on each side is what keeps their fault schedules, and
+// therefore their reports, bit-identical.
 type FaultEndpoint struct {
-	ch   *Channel
-	plan faultplan.ChannelFault
-	rng  *rng.Source
+	inner Transport
+	plan  faultplan.ChannelFault
+	rng   *rng.Source
 
-	queues  [2]queue
-	free    [][]amba.Word
 	sendSeq [2]uint32
 	recvSeq [2]uint32
+	scratch []amba.Word
 }
 
 // frameTrailerWords is the per-frame overhead: one sequence-number
 // word plus one checksum word.
 const frameTrailerWords = 2
 
-// NewFaultEndpoint wraps ch with fault injection driven by plan and
+// NewFaultEndpoint wraps inner with fault injection driven by plan and
 // seeded by seed. The plan is copied; a zero plan injects nothing but
 // still frames and verifies every packet.
-func NewFaultEndpoint(ch *Channel, plan *faultplan.ChannelFault, seed uint64) *FaultEndpoint {
-	if ch == nil {
-		panic("channel: nil channel")
+func NewFaultEndpoint(inner Transport, plan *faultplan.ChannelFault, seed uint64) *FaultEndpoint {
+	if inner == nil {
+		panic("channel: nil inner transport")
 	}
-	f := &FaultEndpoint{ch: ch}
+	f := &FaultEndpoint{inner: inner}
 	if plan != nil {
 		f.plan = *plan
 	}
@@ -60,14 +66,10 @@ func NewFaultEndpoint(ch *Channel, plan *faultplan.ChannelFault, seed uint64) *F
 	return f
 }
 
-// Send charges the modeled cost of the unframed payload, frames it
-// (sequence number + checksum), applies the plan's injections, and
-// enqueues the resulting physical frame(s) in direction d.
-func (f *FaultEndpoint) Send(d Dir, payload []amba.Word) {
-	// Modeled economics: identical to Channel.Send of the same payload.
-	// Framing, duplication, and delay are the host-side fault surface,
-	// not part of the experiment's cost model.
-	f.ch.Account(d, len(payload))
+// Send frames the payload (sequence number + checksum), applies the
+// plan's injections, and ships the resulting physical frame(s) in
+// direction d over the inner transport.
+func (f *FaultEndpoint) Send(d Dir, payload []amba.Word) error {
 	f.sendSeq[d]++
 	seq := f.sendSeq[d]
 
@@ -85,39 +87,38 @@ func (f *FaultEndpoint) Send(d Dir, payload []amba.Word) {
 			bit := f.rng.Intn(len(frame) * 32)
 			frame[bit/32] ^= 1 << (bit % 32)
 		}
-		q := &f.queues[d]
-		q.pkts = append(q.pkts, frame)
+		if err := f.inner.Send(d, frame); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// Recv dequeues the next valid frame in direction d, verifies its
-// checksum and sequence number, and returns the unframed payload.
-// Duplicate frames are dropped silently; a checksum mismatch returns
-// ErrFrameCorrupt and a sequence gap returns ErrFrameLost.
+// Recv dequeues the next valid frame in direction d from the inner
+// transport, verifies its checksum and sequence number, and returns
+// the unframed payload. Duplicate frames are dropped silently; a
+// checksum mismatch returns ErrFrameCorrupt and a sequence gap returns
+// ErrFrameLost.
 //
 // The returned slice is owned by the caller until handed back with
 // Release.
 func (f *FaultEndpoint) Recv(d Dir) ([]amba.Word, error) {
 	for {
-		q := &f.queues[d]
-		if q.head >= len(q.pkts) {
-			panic(fmt.Sprintf("channel: recv on empty %v fault queue", d))
+		frame, err := f.inner.Recv(d)
+		if err != nil {
+			return nil, err
 		}
-		frame := q.pkts[q.head]
-		q.pkts[q.head] = nil
-		q.head++
-		if q.head == len(q.pkts) {
-			q.pkts = q.pkts[:0]
-			q.head = 0
+		if len(frame) < frameTrailerWords {
+			return nil, fmt.Errorf("%w: %v runt frame (%d words)", ErrFrameCorrupt, d, len(frame))
 		}
 		body := frame[:len(frame)-1]
-		if frameSum(body) != frame[len(frame)-1] {
+		if FrameSum(body) != frame[len(frame)-1] {
 			return nil, fmt.Errorf("%w: %v frame after seq %d", ErrFrameCorrupt, d, f.recvSeq[d])
 		}
 		seq := uint32(frame[len(frame)-2])
 		if seq <= f.recvSeq[d] {
 			// Duplicate of an already-delivered frame: drop and retry.
-			f.Release(frame)
+			f.inner.Release(frame)
 			continue
 		}
 		if seq != f.recvSeq[d]+1 {
@@ -128,39 +129,37 @@ func (f *FaultEndpoint) Recv(d Dir) ([]amba.Word, error) {
 	}
 }
 
-// Release returns a payload obtained from Recv to the endpoint's
-// free-list. The caller must not touch the slice afterwards.
+// Release returns a payload obtained from Recv to the inner transport.
+// The caller must not touch the slice afterwards.
 func (f *FaultEndpoint) Release(pkt []amba.Word) {
-	if cap(pkt) == 0 {
-		return
-	}
-	f.free = append(f.free, pkt)
+	f.inner.Release(pkt)
 }
 
 // Pending returns the number of queued frames in direction d
 // (duplicates included — they are physical frames in flight).
 func (f *FaultEndpoint) Pending(d Dir) int {
-	q := &f.queues[d]
-	return len(q.pkts) - q.head
+	return f.inner.Pending(d)
 }
 
-// frame copies payload into a pooled buffer and appends the sequence
-// number and checksum words.
+// Close closes the inner transport.
+func (f *FaultEndpoint) Close() error { return f.inner.Close() }
+
+// frame builds the physical frame in the endpoint's scratch buffer:
+// payload plus the sequence number and checksum words. The inner
+// transport copies (or encodes) on Send, so one scratch suffices.
 func (f *FaultEndpoint) frame(payload []amba.Word, seq uint32) []amba.Word {
-	var frame []amba.Word
-	if n := len(f.free); n > 0 {
-		frame = f.free[n-1][:0]
-		f.free[n-1] = nil
-		f.free = f.free[:n-1]
-	}
-	frame = append(frame, payload...)
+	frame := append(f.scratch[:0], payload...)
 	frame = append(frame, amba.Word(seq))
-	return append(frame, frameSum(frame))
+	frame = append(frame, FrameSum(frame))
+	f.scratch = frame[:0]
+	return frame
 }
 
-// frameSum computes the FNV-1a checksum of a frame body (payload plus
-// sequence word), truncated to one wire word.
-func frameSum(body []amba.Word) amba.Word {
+// FrameSum computes the FNV-1a checksum of a frame body (payload plus
+// sequence word), truncated to one wire word. It is shared with the
+// TCP transport, which reuses the same seq+checksum framing on its
+// byte stream.
+func FrameSum(body []amba.Word) amba.Word {
 	h := uint32(2166136261)
 	for _, w := range body {
 		for shift := 0; shift < 32; shift += 8 {

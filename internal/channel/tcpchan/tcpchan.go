@@ -1,0 +1,1143 @@
+// Package tcpchan carries the engine's packed wire packets between two
+// processes over TCP, so the simulator and accelerator domains can run
+// on separate hosts while producing bit-identical reports.
+//
+// # Mirrored lockstep
+//
+// Rather than teach the engine a client/server split, both processes
+// run the full deterministic engine on the identical compiled spec,
+// and the transport gives each side authority over one direction:
+//
+//   - The simulator-role endpoint ships SimToAcc packets over the
+//     socket; its AccToSim sends are suppressed (the peer's mirror
+//     produces the identical packet locally and ships it the other
+//     way).
+//   - Every authoritative send is also echoed into a local queue, so
+//     the sender's own engine receives it exactly as the in-process
+//     transports would deliver it.
+//   - Receives in the peer-authoritative direction block on the
+//     socket, bounded by Options.RecvTimeout, and fail with
+//     channel.ErrChannelDown when the peer stays silent.
+//
+// Divergence between the mirrors cannot go unnoticed: committed
+// remote values genuinely cross the wire, so any drift trips the
+// engine's conservative-cycle merge check, a codec unpack error, or
+// the end-of-run report exchange (ExchangeSum).
+//
+// # Framing and recovery
+//
+// Frames reuse the seq + FNV-1a scheme of channel.FaultEndpoint,
+// carried on a length-prefixed byte stream: the checksum constants are
+// identical, and summing the little-endian bytes of a word sequence
+// equals channel.FrameSum of those words. Each endpoint keeps a
+// retransmission window of unacknowledged authoritative frames;
+// cumulative acks piggyback on data frames, duplicates are dropped by
+// sequence number, and a corrupt or out-of-order frame triggers a
+// RESYNC carrying the next expected sequence, answered by retransmission.
+// A receiver that waits too long re-sends its resync periodically, and
+// a dead connection is healed by redial (client) or re-accept (server)
+// with a resume handshake exchanging next-expected sequences — the
+// invariant being that a frame leaves the window only once the peer
+// has acknowledged it, so a reconnect can always resume exactly where
+// the stream broke.
+package tcpchan
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/channel"
+	"coemu/internal/faultplan"
+	"coemu/internal/rng"
+	"coemu/internal/stats"
+	"coemu/internal/trace"
+)
+
+// Role identifies which domain this endpoint's process hosts, and
+// therefore which channel direction it has send authority over.
+type Role uint8
+
+// Endpoint roles.
+const (
+	// RoleSim hosts the simulator domain: authoritative for SimToAcc.
+	RoleSim Role = iota
+	// RoleAcc hosts the accelerator domain: authoritative for AccToSim.
+	RoleAcc
+)
+
+// String returns the role's wire name.
+func (r Role) String() string {
+	if r == RoleAcc {
+		return "acc"
+	}
+	return "sim"
+}
+
+// dir returns the direction this role is authoritative for.
+func (r Role) dir() channel.Dir {
+	if r == RoleAcc {
+		return channel.AccToSim
+	}
+	return channel.SimToAcc
+}
+
+// Wire protocol constants.
+const (
+	protocolMagic   = "coemu-tcpchan"
+	protocolVersion = 1
+
+	kindHello   = 1
+	kindHelloOK = 2
+	kindData    = 3
+	kindResync  = 4
+	kindAck     = 5
+	kindPing    = 6
+	kindPong    = 7
+	kindSum     = 8
+	// kindBye announces a deliberate shutdown. It is what separates a
+	// clean teardown from a crash: a reader that saw a bye goes down
+	// immediately instead of burning redial attempts against a peer
+	// that is gone on purpose.
+	kindBye = 9
+
+	// frameHeadBytes is the fixed frame body overhead after the length
+	// prefix: kind, dir, two reserved bytes, seq, ack.
+	frameHeadBytes = 12
+	// frameSumBytes trails the payload.
+	frameSumBytes = 4
+	// maxFrameBytes bounds a frame body; a longer length prefix means
+	// the stream is corrupt beyond resync and kills the connection.
+	maxFrameBytes = 16 << 20
+
+	// ackEvery bounds how many delivered frames may go unacknowledged
+	// before a standalone ack is emitted (piggybacked acks usually get
+	// there first).
+	ackEvery = 64
+)
+
+// Defaults for zero Options fields.
+const (
+	DefaultDialTimeout  = 5 * time.Second
+	DefaultRecvTimeout  = 10 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultRedial       = 8
+	DefaultRedialWait   = 50 * time.Millisecond
+	DefaultResyncEvery  = 25 * time.Millisecond
+)
+
+// windowMax bounds the retransmission window; the engine's exchange
+// protocol keeps at most a handful of frames in flight, so hitting the
+// bound means the peer stopped acknowledging long ago.
+const windowMax = 8192
+
+// Options configures one endpoint.
+type Options struct {
+	// Role selects this endpoint's authoritative direction.
+	Role Role
+	// Hash is the canonical spec hash announced in the handshake; the
+	// accepting side verifies it (via VerifyMeta) so two processes can
+	// never co-emulate different systems.
+	Hash string
+	// Meta is an opaque handshake blob from dialer to acceptor —
+	// remote.Run ships the full spec JSON here, which is what lets the
+	// server run spec-agnostic.
+	Meta []byte
+	// VerifyMeta, on the accepting side, validates the dialer's Meta
+	// against its announced Hash before the session is admitted.
+	VerifyMeta func(meta []byte, hash string) error
+
+	DialTimeout  time.Duration
+	RecvTimeout  time.Duration
+	WriteTimeout time.Duration
+	// Redial bounds reconnect attempts after a connection death
+	// (dialer side); RedialWait is the linear backoff step between
+	// attempts.
+	Redial     int
+	RedialWait time.Duration
+	// ResyncEvery is how often a blocked receiver re-sends its resync
+	// request while waiting.
+	ResyncEvery time.Duration
+
+	// InjectRTT simulates link latency: every authoritative data send
+	// sleeps InjectRTT/2 (one way) before hitting the socket.
+	// Host-side only; the modeled run is unaffected.
+	InjectRTT time.Duration
+	// Faults injects wire-level byte faults (delay, duplication, bit
+	// corruption) into outgoing data frames, seeded by FaultSeed. The
+	// ARQ layer must heal all of them; reports are unaffected.
+	Faults    *faultplan.ChannelFault
+	FaultSeed uint64
+	// PingEvery, when positive, runs a background ping/pong loop
+	// sampling round-trip latency into Stats.
+	PingEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.RecvTimeout <= 0 {
+		o.RecvTimeout = DefaultRecvTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.Redial <= 0 {
+		o.Redial = DefaultRedial
+	}
+	if o.RedialWait <= 0 {
+		o.RedialWait = DefaultRedialWait
+	}
+	if o.ResyncEvery <= 0 {
+		o.ResyncEvery = DefaultResyncEvery
+	}
+	return o
+}
+
+// Stats summarizes one endpoint's wire activity. RTT fields are filled
+// from the handshake and ping/pong samples.
+type Stats struct {
+	Sent          int64 // authoritative data frames first-sent
+	Received      int64 // in-order data frames delivered
+	Dups          int64 // duplicate frames dropped
+	Gaps          int64 // out-of-order frames observed (resync sent)
+	CorruptFrames int64 // checksum mismatches observed (resync sent)
+	Retransmits   int64 // frames re-sent answering peer resyncs
+	Resyncs       int64 // resync requests sent
+	Reconnects    int64 // connection deaths healed
+	WireFaults    int64 // injected wire faults (Options.Faults)
+
+	RTTSamples int64
+	RTTMean    time.Duration
+	RTTP99     time.Duration
+}
+
+// winFrame is one unacknowledged authoritative frame.
+type winFrame struct {
+	seq     uint32
+	payload []amba.Word
+}
+
+// helloMsg is the JSON handshake exchanged on connect and resume.
+type helloMsg struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	Role    string `json:"role"`
+	Hash    string `json:"hash"`
+	Meta    []byte `json:"meta,omitempty"`
+	Resume  bool   `json:"resume,omitempty"`
+	// Expect is the next data sequence number the sender of this
+	// message is waiting for; on resume the receiver retransmits its
+	// window from here.
+	Expect uint32 `json:"expect,omitempty"`
+}
+
+// Transport is one endpoint of the mirrored TCP channel. It implements
+// channel.Transport. The engine thread calls Send/Recv/Release; a
+// background reader goroutine feeds the receive queue and answers
+// protocol frames; mu orders the two.
+type Transport struct {
+	role Role
+	opts Options
+	hash string
+
+	// echo mirrors authoritative sends back to the local engine;
+	// engine-thread only.
+	echo *channel.Queues
+
+	// rxq delivers in-order peer-direction payloads from the reader to
+	// Recv.
+	rxq chan []amba.Word
+	// sumq delivers the peer's ExchangeSum payload.
+	sumq chan []byte
+	// stop is closed exactly once when the transport shuts down
+	// (Close, or reconnect exhaustion).
+	stop     chan struct{}
+	stopOnce sync.Once
+	// readerDone is closed when the reader goroutine exits.
+	readerDone chan struct{}
+
+	// Dialer-side reconnect target; acceptor-side listener to
+	// re-accept on.
+	addr string
+	ln   *Listener
+
+	mu       sync.Mutex
+	conn     net.Conn
+	dialing  net.Conn // in-flight redial, closable by Close
+	dead     bool     // conn present but known broken
+	closed   bool
+	peerBye  bool  // peer announced a deliberate shutdown
+	gen      int64 // connection generation, for trace/debug
+	sendSeq  uint32
+	recvNext uint32 // next expected peer data seq
+	window   []winFrame
+	wfree    [][]amba.Word
+	unacked  int // delivered frames since last ack we sent
+	wbuf     []byte
+	frng     *rng.Source
+	st       Stats
+	rtt      *stats.Hist // microseconds
+	pingSeq  uint32
+	pingT0   time.Time
+	trc      *trace.Recorder
+
+	killed int64 // test hook: connections killed via Kill
+}
+
+func newTransport(role Role, opts Options, hash string) *Transport {
+	t := &Transport{
+		role:       role,
+		opts:       opts,
+		hash:       hash,
+		echo:       channel.NewQueues(),
+		rxq:        make(chan []amba.Word, 1024),
+		sumq:       make(chan []byte, 1),
+		stop:       make(chan struct{}),
+		readerDone: make(chan struct{}),
+		recvNext:   1,
+		rtt:        stats.NewHist(),
+		trc:        trace.NewRecorder(4096),
+	}
+	if opts.Faults != nil {
+		t.frng = rng.New(opts.FaultSeed)
+	}
+	return t
+}
+
+// start launches the background goroutines once the first connection
+// is installed.
+func (t *Transport) start() {
+	go t.run()
+	if t.opts.PingEvery > 0 {
+		go t.pinger()
+	}
+}
+
+// Dial connects to a listening endpoint, performs the handshake
+// (announcing o.Role, o.Hash and shipping o.Meta), and returns the
+// ready transport. The handshake round trip is recorded as the first
+// RTT sample.
+func Dial(addr string, o Options) (*Transport, error) {
+	o = o.withDefaults()
+	t := newTransport(o.Role, o, o.Hash)
+	t.addr = addr
+	conn, err := t.dialOnce(false)
+	if err != nil {
+		return nil, err
+	}
+	t.conn = conn
+	t.traceLocked(trace.Event{Kind: trace.EvTransportConnect, Domain: uint8(t.role)})
+	t.start()
+	return t, nil
+}
+
+// dialOnce dials and handshakes one connection. With resume set it
+// announces the transport's current receive position and retransmits
+// the window from the peer's; the caller holds no lock.
+func (t *Transport) dialOnce(resume bool) (net.Conn, error) {
+	t.mu.Lock()
+	expect := t.recvNext
+	t.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", t.addr, t.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcpchan: dial %s: %w", t.addr, err)
+	}
+	// Expose the half-open connection so a concurrent Close can cut the
+	// handshake short instead of waiting out its deadline.
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("tcpchan: transport closed during redial")
+	}
+	t.dialing = conn
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		t.dialing = nil
+		t.mu.Unlock()
+	}()
+	t0 := time.Now()
+	h := helloMsg{
+		Magic: protocolMagic, Version: protocolVersion,
+		Role: t.role.String(), Hash: t.hash,
+		Resume: resume, Expect: expect,
+	}
+	if !resume {
+		h.Meta = t.opts.Meta
+	}
+	ok, err := handshake(conn, h, t.opts.DialTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if ok.Role == t.role.String() {
+		conn.Close()
+		return nil, fmt.Errorf("tcpchan: peer claims our role %q (two %ss on one link)", ok.Role, ok.Role)
+	}
+	if t.hash != "" && ok.Hash != t.hash {
+		conn.Close()
+		return nil, fmt.Errorf("tcpchan: spec hash mismatch: ours %s, peer %s", t.hash, ok.Hash)
+	}
+	t.mu.Lock()
+	t.addSampleLocked(time.Since(t0))
+	if resume {
+		t.ackWindowLocked(ok.Expect - 1)
+	}
+	t.mu.Unlock()
+	return conn, nil
+}
+
+// handshake writes h and reads the peer's reply frame within timeout.
+func handshake(conn net.Conn, h helloMsg, timeout time.Duration) (helloMsg, error) {
+	deadline := time.Now().Add(timeout)
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	blob, err := json.Marshal(&h)
+	if err != nil {
+		return helloMsg{}, err
+	}
+	frame := appendFrame(nil, kindHello, 0, 0, 0, blob)
+	if _, err := conn.Write(frame); err != nil {
+		return helloMsg{}, fmt.Errorf("tcpchan: handshake write: %w", err)
+	}
+	k, _, _, _, payload, err := readFrame(conn)
+	if err != nil {
+		return helloMsg{}, fmt.Errorf("tcpchan: handshake read: %w", err)
+	}
+	if k != kindHelloOK && k != kindHello {
+		return helloMsg{}, fmt.Errorf("tcpchan: handshake got frame kind %d", k)
+	}
+	var reply helloMsg
+	if err := json.Unmarshal(payload, &reply); err != nil {
+		return helloMsg{}, fmt.Errorf("tcpchan: handshake decode: %w", err)
+	}
+	if reply.Magic != protocolMagic || reply.Version != protocolVersion {
+		return helloMsg{}, fmt.Errorf("tcpchan: peer speaks %q v%d, want %q v%d",
+			reply.Magic, reply.Version, protocolMagic, protocolVersion)
+	}
+	return reply, nil
+}
+
+// Listener accepts tcpchan sessions. One session is active at a time:
+// Accept admits a fresh handshake, and while that session runs, its
+// transport re-accepts resumed connections off the same listener.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen opens a TCP listener for tcpchan sessions.
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpchan: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound listener address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting connections.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Accept waits for a fresh session handshake and returns the ready
+// transport plus the dialer's Meta blob. Connections that fail the
+// handshake (bad magic, role clash, rejected meta, stale resumes) are
+// dropped and accepting continues.
+func (l *Listener) Accept(o Options) (*Transport, []byte, error) {
+	o = o.withDefaults()
+	conn, h, err := l.acceptConn(o, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := newTransport(o.Role, o, h.Hash)
+	t.ln = l
+	t.conn = conn
+	t.traceLocked(trace.Event{Kind: trace.EvTransportConnect, Domain: uint8(t.role)})
+	t.start()
+	return t, h.Meta, nil
+}
+
+// acceptConn accepts and handshakes connections until one is
+// admissible. With resumeFor set, only resume hellos matching that
+// transport's session are admitted (fresh sessions must wait for the
+// next Accept).
+func (l *Listener) acceptConn(o Options, resumeFor *Transport) (net.Conn, helloMsg, error) {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return nil, helloMsg{}, fmt.Errorf("tcpchan: accept: %w", err)
+		}
+		h, ok := l.admit(conn, o, resumeFor)
+		if !ok {
+			conn.Close()
+			continue
+		}
+		return conn, h, nil
+	}
+}
+
+// admit runs the accept-side handshake on one connection.
+func (l *Listener) admit(conn net.Conn, o Options, resumeFor *Transport) (helloMsg, bool) {
+	deadline := time.Now().Add(o.DialTimeout)
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	k, _, _, _, payload, err := readFrame(conn)
+	if err != nil || k != kindHello {
+		return helloMsg{}, false
+	}
+	var h helloMsg
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return helloMsg{}, false
+	}
+	if h.Magic != protocolMagic || h.Version != protocolVersion || h.Role == o.Role.String() {
+		return helloMsg{}, false
+	}
+	var expect uint32 = 1
+	if resumeFor != nil {
+		if !h.Resume || h.Hash != resumeFor.hash {
+			return helloMsg{}, false
+		}
+		resumeFor.mu.Lock()
+		expect = resumeFor.recvNext
+		resumeFor.mu.Unlock()
+	} else {
+		if h.Resume {
+			return helloMsg{}, false
+		}
+		if o.VerifyMeta != nil {
+			if err := o.VerifyMeta(h.Meta, h.Hash); err != nil {
+				return helloMsg{}, false
+			}
+		}
+	}
+	reply := helloMsg{
+		Magic: protocolMagic, Version: protocolVersion,
+		Role: o.Role.String(), Hash: h.Hash, Expect: expect,
+	}
+	blob, err := json.Marshal(&reply)
+	if err != nil {
+		return helloMsg{}, false
+	}
+	if _, err := conn.Write(appendFrame(nil, kindHelloOK, 0, 0, 0, blob)); err != nil {
+		return helloMsg{}, false
+	}
+	return h, true
+}
+
+// Send implements channel.Transport. Sends in the peer-authoritative
+// direction are suppressed — the peer's mirrored engine produces the
+// identical packet on its side — so the call is an intentional no-op,
+// not an error. Authoritative sends are framed, recorded in the
+// retransmission window, shipped, and echoed locally.
+func (t *Transport) Send(d channel.Dir, payload []amba.Word) error {
+	if d != t.role.dir() {
+		return nil
+	}
+	if t.opts.InjectRTT > 0 {
+		time.Sleep(t.opts.InjectRTT / 2)
+	}
+	// Wire-fault dice roll before the lock: delay must not stall the
+	// reader's protocol responses.
+	var dup, corrupt, corrupt2 bool
+	if t.frng != nil {
+		p := t.opts.Faults
+		if p.Delay > 0 && p.MaxDelayUS > 0 && t.frng.Bool(p.Delay) {
+			time.Sleep(time.Duration(1+t.frng.Intn(p.MaxDelayUS)) * time.Microsecond)
+		}
+		dup = t.frng.Bool(p.Duplicate)
+		corrupt = t.frng.Bool(p.Corrupt)
+		if dup {
+			corrupt2 = t.frng.Bool(p.Corrupt)
+		}
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("tcpchan: send on closed transport: %w", channel.ErrChannelDown)
+	}
+	if len(t.window) >= windowMax {
+		t.mu.Unlock()
+		return fmt.Errorf("tcpchan: %d unacknowledged frames (peer gone?): %w", windowMax, channel.ErrChannelDown)
+	}
+	t.sendSeq++
+	seq := t.sendSeq
+	var buf []amba.Word
+	if n := len(t.wfree); n > 0 {
+		buf = t.wfree[n-1][:0]
+		t.wfree[n-1] = nil
+		t.wfree = t.wfree[:n-1]
+	}
+	buf = append(buf, payload...)
+	if buf == nil {
+		buf = []amba.Word{}
+	}
+	t.window = append(t.window, winFrame{seq: seq, payload: buf})
+	t.st.Sent++
+	t.writeDataLocked(seq, buf, corrupt)
+	if dup {
+		t.st.WireFaults++
+		t.writeDataLocked(seq, buf, corrupt2)
+	}
+	if corrupt || corrupt2 {
+		t.st.WireFaults++
+	}
+	t.mu.Unlock()
+
+	// Local echo: the engine on this side receives its own
+	// contribution exactly as an in-process transport would deliver it.
+	t.echo.Send(d, payload)
+	return nil
+}
+
+// writeDataLocked encodes and writes one data frame. A write failure
+// marks the connection dead (the reader heals it); the frame stays in
+// the window either way.
+func (t *Transport) writeDataLocked(seq uint32, payload []amba.Word, corrupt bool) {
+	t.wbuf = appendDataFrame(t.wbuf[:0], byte(t.role.dir()), seq, t.recvNext-1, payload)
+	if corrupt && len(t.wbuf) > 4 {
+		bit := t.frng.Intn((len(t.wbuf) - 4) * 8)
+		t.wbuf[4+bit/8] ^= 1 << (bit % 8)
+	}
+	t.unacked = 0
+	t.writeRawLocked(t.wbuf)
+}
+
+// writeCtrlLocked encodes and writes one control frame.
+func (t *Transport) writeCtrlLocked(kind byte, seq, ack uint32, payload []byte) {
+	t.wbuf = appendFrame(t.wbuf[:0], kind, 0, seq, ack, payload)
+	t.writeRawLocked(t.wbuf)
+}
+
+// writeRawLocked ships pre-encoded bytes on the live connection, if
+// any. Errors mark the connection dead and close it, which unblocks
+// the reader into its reconnect path.
+func (t *Transport) writeRawLocked(b []byte) {
+	if t.conn == nil || t.dead {
+		return
+	}
+	t.conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if _, err := t.conn.Write(b); err != nil {
+		t.dead = true
+		t.conn.Close()
+	}
+}
+
+// Recv implements channel.Transport. The authoritative direction pops
+// the local echo — empty means the engine broke its own exchange
+// protocol, reported immediately. The peer direction blocks on the
+// socket-fed queue up to RecvTimeout, re-requesting a resync every
+// ResyncEvery while it waits (harmless when nothing was lost: a
+// resync for a sequence the peer has not produced retransmits
+// nothing).
+func (t *Transport) Recv(d channel.Dir) ([]amba.Word, error) {
+	if d == t.role.dir() {
+		return t.echo.Recv(d)
+	}
+	select {
+	case pkt := <-t.rxq:
+		return pkt, nil
+	default:
+	}
+	timer := time.NewTimer(t.opts.RecvTimeout)
+	defer timer.Stop()
+	tick := time.NewTicker(t.opts.ResyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case pkt := <-t.rxq:
+			return pkt, nil
+		case <-tick.C:
+			t.mu.Lock()
+			t.sendResyncLocked()
+			t.mu.Unlock()
+		case <-timer.C:
+			return nil, fmt.Errorf("tcpchan: recv %v timed out after %v: %w", d, t.opts.RecvTimeout, channel.ErrChannelDown)
+		case <-t.stop:
+			// A shutdown racing already-delivered data must not eat the
+			// packet: drain the receive queue before reporting down.
+			select {
+			case pkt := <-t.rxq:
+				return pkt, nil
+			default:
+			}
+			return nil, fmt.Errorf("tcpchan: transport stopped: %w", channel.ErrChannelDown)
+		}
+	}
+}
+
+// sendResyncLocked asks the peer to retransmit from recvNext.
+func (t *Transport) sendResyncLocked() {
+	t.st.Resyncs++
+	t.traceLocked(trace.Event{Kind: trace.EvTransportResync, Domain: uint8(t.role), Arg: int64(t.recvNext)})
+	t.writeCtrlLocked(kindResync, t.recvNext, t.recvNext-1, nil)
+}
+
+// Release implements channel.Transport. Echo buffers recycle through
+// the echo queue's pool; reader-allocated receive buffers retire the
+// same way and are reused by future echo sends.
+func (t *Transport) Release(pkt []amba.Word) { t.echo.Release(pkt) }
+
+// Pending implements channel.Transport.
+func (t *Transport) Pending(d channel.Dir) int {
+	if d == t.role.dir() {
+		return t.echo.Pending(d)
+	}
+	return len(t.rxq)
+}
+
+// Close shuts the transport down: no reconnects, blocked receivers
+// fail, the reader exits.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	alreadyClosed := t.closed
+	t.closed = true
+	if t.conn != nil && !t.dead {
+		// Tell the peer this is deliberate so it goes down instead of
+		// redialing a gone endpoint; the kernel flushes the bye with
+		// the FIN.
+		t.writeCtrlLocked(kindBye, 0, t.recvNext-1, nil)
+	}
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	if t.dialing != nil {
+		t.dialing.Close()
+	}
+	t.mu.Unlock()
+	t.stopOnce.Do(func() { close(t.stop) })
+	if !alreadyClosed {
+		<-t.readerDone
+	}
+	return nil
+}
+
+// Kill severs the current connection without closing the transport —
+// a test hook standing in for a mid-run network failure. The reader
+// notices and heals via the reconnect path.
+func (t *Transport) Kill() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn != nil && !t.dead {
+		t.killed++
+		t.dead = true
+		t.conn.Close()
+	}
+}
+
+// ExchangeSum sends blob to the peer and returns the peer's blob — the
+// end-of-run cross-check both mirrors use to compare canonical report
+// digests. Symmetric: both sides call it.
+func (t *Transport) ExchangeSum(blob []byte, timeout time.Duration) ([]byte, error) {
+	t.mu.Lock()
+	t.writeCtrlLocked(kindSum, 0, t.recvNext-1, blob)
+	t.mu.Unlock()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case peer := <-t.sumq:
+		return peer, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("tcpchan: sum exchange timed out after %v: %w", timeout, channel.ErrChannelDown)
+	case <-t.stop:
+		select {
+		case peer := <-t.sumq:
+			return peer, nil
+		default:
+		}
+		return nil, fmt.Errorf("tcpchan: transport stopped: %w", channel.ErrChannelDown)
+	}
+}
+
+// Stats returns a snapshot of the endpoint's wire counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.st
+	s.RTTSamples = t.rtt.N()
+	if s.RTTSamples > 0 {
+		s.RTTMean = time.Duration(t.rtt.Mean() * float64(time.Microsecond))
+		s.RTTP99 = time.Duration(t.rtt.Quantile(0.99)) * time.Microsecond
+	}
+	return s
+}
+
+// TraceEvents returns the transport's recorded trace events (connects,
+// resyncs, retransmissions, reconnects). Event.Cycle carries the frame
+// sequence position, not a target cycle.
+func (t *Transport) TraceEvents() []trace.Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trc.Events()
+}
+
+// addSampleLocked records one RTT sample in microseconds.
+func (t *Transport) addSampleLocked(d time.Duration) {
+	us := int(d / time.Microsecond)
+	if us < 0 {
+		return
+	}
+	t.rtt.Add(us)
+}
+
+func (t *Transport) traceLocked(ev trace.Event) {
+	ev.Cycle = int64(t.sendSeq)
+	t.trc.Record(ev)
+}
+
+// ackWindowLocked drops window frames with seq <= ack, recycling their
+// buffers.
+func (t *Transport) ackWindowLocked(ack uint32) {
+	i := 0
+	for i < len(t.window) && t.window[i].seq <= ack {
+		if cap(t.window[i].payload) > 0 {
+			t.wfree = append(t.wfree, t.window[i].payload)
+		}
+		t.window[i] = winFrame{}
+		i++
+	}
+	if i > 0 {
+		t.window = append(t.window[:0], t.window[i:]...)
+	}
+}
+
+// pinger samples link RTT in the background.
+func (t *Transport) pinger() {
+	tk := time.NewTicker(t.opts.PingEvery)
+	defer tk.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tk.C:
+			t.mu.Lock()
+			t.pingSeq++
+			t.pingT0 = time.Now()
+			t.writeCtrlLocked(kindPing, t.pingSeq, t.recvNext-1, nil)
+			t.mu.Unlock()
+		}
+	}
+}
+
+// run is the reader goroutine: it drains the live connection and heals
+// dead ones until the transport closes or reconnection is exhausted.
+func (t *Transport) run() {
+	defer close(t.readerDone)
+	for {
+		t.mu.Lock()
+		conn, dead, closed := t.conn, t.dead, t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if conn == nil || dead {
+			if !t.reestablish() {
+				// Permanently down: wake blocked receivers.
+				t.stopOnce.Do(func() { close(t.stop) })
+				return
+			}
+			continue
+		}
+		t.readLoop(conn)
+		t.mu.Lock()
+		bye := t.peerBye
+		if t.conn == conn && !t.closed {
+			t.dead = true
+			conn.Close()
+		}
+		t.mu.Unlock()
+		if bye {
+			// Deliberate peer shutdown: the link is down for good, not
+			// broken. Wake blocked receivers instead of reconnecting.
+			t.stopOnce.Do(func() { close(t.stop) })
+			return
+		}
+	}
+}
+
+// reestablish replaces a dead connection: the dialer side redials with
+// a resume handshake, the acceptor side re-accepts a resume from its
+// listener. On success the retransmission window is replayed from the
+// peer's next expected sequence.
+func (t *Transport) reestablish() bool {
+	if t.ln != nil {
+		conn, h, err := t.ln.acceptConn(t.opts, t)
+		if err != nil {
+			return false
+		}
+		t.installConn(conn, h.Expect)
+		return true
+	}
+	for attempt := 0; attempt < t.opts.Redial; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-t.stop:
+				return false
+			case <-time.After(time.Duration(attempt) * t.opts.RedialWait):
+			}
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return false
+		}
+		conn, err := t.dialOnce(true)
+		if err != nil {
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		t.mu.Unlock()
+		// dialOnce already pruned the window to the peer's expect; the
+		// peer told us where to resume via helloOK.Expect handled there.
+		t.installConnRetransmit(conn)
+		return true
+	}
+	return false
+}
+
+// installConn adopts a resumed connection and retransmits the window
+// from the peer's next expected sequence.
+func (t *Transport) installConn(conn net.Conn, peerExpect uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ackWindowLocked(peerExpect - 1)
+	t.adoptLocked(conn)
+}
+
+// installConnRetransmit adopts a redialed connection (window already
+// pruned during the resume handshake) and retransmits what remains.
+func (t *Transport) installConnRetransmit(conn net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.adoptLocked(conn)
+}
+
+// adoptLocked installs a healed connection and replays the
+// un-acknowledged window in order.
+func (t *Transport) adoptLocked(conn net.Conn) {
+	if t.conn != nil {
+		t.conn.Close()
+	}
+	t.conn = conn
+	t.dead = false
+	t.gen++
+	t.st.Reconnects++
+	t.traceLocked(trace.Event{Kind: trace.EvTransportReconnect, Domain: uint8(t.role), Arg: t.gen})
+	t.retransmitLocked(0)
+}
+
+// retransmitLocked re-sends every window frame with seq >= from (0
+// replays the whole window).
+func (t *Transport) retransmitLocked(from uint32) {
+	n := int64(0)
+	for _, wf := range t.window {
+		if wf.seq < from {
+			continue
+		}
+		t.wbuf = appendDataFrame(t.wbuf[:0], byte(t.role.dir()), wf.seq, t.recvNext-1, wf.payload)
+		t.writeRawLocked(t.wbuf)
+		n++
+	}
+	if n > 0 {
+		t.st.Retransmits += n
+		t.traceLocked(trace.Event{Kind: trace.EvTransportRetransmit, Domain: uint8(t.role), N: n})
+	}
+}
+
+// readLoop drains one connection until it errors.
+func (t *Transport) readLoop(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		kind, _, seq, ack, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case kindData:
+			t.handleData(seq, ack, payload)
+		case kindResync:
+			t.mu.Lock()
+			t.ackWindowLocked(seq - 1)
+			t.retransmitLocked(seq)
+			t.mu.Unlock()
+		case kindAck:
+			t.mu.Lock()
+			t.ackWindowLocked(ack)
+			t.mu.Unlock()
+		case kindPing:
+			t.mu.Lock()
+			t.writeCtrlLocked(kindPong, seq, t.recvNext-1, nil)
+			t.mu.Unlock()
+		case kindPong:
+			t.mu.Lock()
+			if seq == t.pingSeq && !t.pingT0.IsZero() {
+				t.addSampleLocked(time.Since(t.pingT0))
+				t.pingT0 = time.Time{}
+			}
+			t.mu.Unlock()
+		case kindSum:
+			blob := append([]byte(nil), payload...)
+			select {
+			case t.sumq <- blob:
+			default:
+			}
+		case kindBye:
+			t.mu.Lock()
+			t.peerBye = true
+			t.mu.Unlock()
+			return
+		case frameCorrupt:
+			// readFrame verified the stream framing but the checksum
+			// failed: request retransmission of everything undelivered.
+			t.mu.Lock()
+			t.st.CorruptFrames++
+			t.sendResyncLocked()
+			t.mu.Unlock()
+		default:
+			// Unknown control frame: ignore (forward compatibility).
+		}
+	}
+}
+
+// handleData runs the receive side of the ARQ for one data frame.
+func (t *Transport) handleData(seq, ack uint32, payload []byte) {
+	if len(payload)%amba.WordBytes != 0 {
+		t.mu.Lock()
+		t.st.CorruptFrames++
+		t.sendResyncLocked()
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Lock()
+	t.ackWindowLocked(ack)
+	switch {
+	case seq < t.recvNext:
+		t.st.Dups++
+		t.mu.Unlock()
+		return
+	case seq > t.recvNext:
+		t.st.Gaps++
+		t.sendResyncLocked()
+		t.mu.Unlock()
+		return
+	}
+	t.recvNext++
+	t.st.Received++
+	t.unacked++
+	if t.unacked >= ackEvery {
+		t.unacked = 0
+		t.writeCtrlLocked(kindAck, 0, t.recvNext-1, nil)
+	}
+	t.mu.Unlock()
+
+	words := make([]amba.Word, 0, len(payload)/amba.WordBytes)
+	for i := 0; i < len(payload); i += amba.WordBytes {
+		words = append(words, amba.GetWord(payload[i:]))
+	}
+	select {
+	case t.rxq <- words:
+	case <-t.stop:
+	}
+}
+
+// frameCorrupt is the in-band kind readFrame returns for a frame whose
+// stream framing held but whose checksum failed: the connection is
+// still usable, the frame is not.
+const frameCorrupt = 0xFF
+
+// appendFrame encodes one frame with a byte payload:
+//
+//	u32 length | u8 kind | u8 dir | u16 reserved | u32 seq | u32 ack |
+//	payload bytes | u32 sum
+//
+// sum is FNV-1a over the body (kind through payload) with the
+// channel.FrameSum constants; over a word payload encoded
+// little-endian this equals FrameSum of those words, so the framing is
+// byte-for-byte the FaultEndpoint scheme carried onto a stream.
+func appendFrame(dst []byte, kind, dir byte, seq, ack uint32, payload []byte) []byte {
+	body := frameHeadBytes + len(payload) + frameSumBytes
+	dst = le32(dst, uint32(body))
+	start := len(dst)
+	dst = append(dst, kind, dir, 0, 0)
+	dst = le32(dst, seq)
+	dst = le32(dst, ack)
+	dst = append(dst, payload...)
+	return le32(dst, byteSum(dst[start:]))
+}
+
+// appendDataFrame is appendFrame for a word payload, avoiding an
+// intermediate byte slice.
+func appendDataFrame(dst []byte, dir byte, seq, ack uint32, payload []amba.Word) []byte {
+	body := frameHeadBytes + len(payload)*amba.WordBytes + frameSumBytes
+	dst = le32(dst, uint32(body))
+	start := len(dst)
+	dst = append(dst, kindData, dir, 0, 0)
+	dst = le32(dst, seq)
+	dst = le32(dst, ack)
+	for _, w := range payload {
+		dst = amba.PutWord(dst, w)
+	}
+	return le32(dst, byteSum(dst[start:]))
+}
+
+// readFrame reads one frame off the stream. A checksum mismatch
+// returns kind frameCorrupt with no error: the stream framing is
+// intact, only the frame content is untrusted. Framing-level damage
+// (absurd length) returns an error, killing the connection.
+func readFrame(r io.Reader) (kind, dir byte, seq, ack uint32, payload []byte, err error) {
+	var head [4]byte
+	if _, err = io.ReadFull(r, head[:]); err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	n := int(getLE32(head[:]))
+	if n < frameHeadBytes+frameSumBytes || n > maxFrameBytes {
+		return 0, 0, 0, 0, nil, fmt.Errorf("tcpchan: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	sum := getLE32(body[n-frameSumBytes:])
+	if byteSum(body[:n-frameSumBytes]) != sum {
+		return frameCorrupt, 0, 0, 0, nil, nil
+	}
+	kind, dir = body[0], body[1]
+	seq = getLE32(body[4:])
+	ack = getLE32(body[8:])
+	payload = body[frameHeadBytes : n-frameSumBytes]
+	return kind, dir, seq, ack, payload, nil
+}
+
+// byteSum is FNV-1a with the channel.FrameSum constants, over bytes.
+func byteSum(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// le32 appends v little-endian.
+func le32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// getLE32 decodes a little-endian u32 from the first 4 bytes of b.
+func getLE32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,254 @@
+package tcpchan
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"coemu/internal/amba"
+	"coemu/internal/channel"
+	"coemu/internal/faultplan"
+)
+
+// newPair connects a sim-role dialer to an acc-role acceptor over a
+// loopback listener and returns both ready transports.
+func newPair(t *testing.T, cli, srv Options) (*Transport, *Transport) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	cli.Role = RoleSim
+	srv.Role = RoleAcc
+	type accepted struct {
+		tr  *Transport
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		tr, _, err := l.Accept(srv)
+		ch <- accepted{tr, err}
+	}()
+	sim, err := Dial(l.Addr().String(), cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sim.Close() })
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	t.Cleanup(func() { acc.tr.Close() })
+	return sim, acc.tr
+}
+
+func TestRoundTripBothDirections(t *testing.T) {
+	sim, acc := newPair(t, Options{}, Options{})
+	// Mirrored lockstep: both engines send in both directions; the
+	// transport suppresses the non-authoritative copy.
+	for i := 0; i < 10; i++ {
+		p := []amba.Word{amba.Word(i), amba.Word(i * 7)}
+		if err := sim.Send(channel.SimToAcc, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.Send(channel.SimToAcc, p); err != nil { // suppressed
+			t.Fatal(err)
+		}
+		if err := acc.Send(channel.AccToSim, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Send(channel.AccToSim, p); err != nil { // suppressed
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		want := []amba.Word{amba.Word(i), amba.Word(i * 7)}
+		check := func(tr *Transport, d channel.Dir) {
+			t.Helper()
+			pkt, err := tr.Recv(d)
+			if err != nil {
+				t.Fatalf("recv %v: %v", d, err)
+			}
+			if len(pkt) != 2 || pkt[0] != want[0] || pkt[1] != want[1] {
+				t.Fatalf("recv %v = %v, want %v", d, pkt, want)
+			}
+			tr.Release(pkt)
+		}
+		check(sim, channel.SimToAcc) // local echo
+		check(acc, channel.SimToAcc) // over the wire
+		check(acc, channel.AccToSim) // local echo
+		check(sim, channel.AccToSim) // over the wire
+	}
+}
+
+func TestZeroLengthPayload(t *testing.T) {
+	sim, acc := newPair(t, Options{}, Options{})
+	if err := sim.Send(channel.SimToAcc, nil); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := acc.Recv(channel.SimToAcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt == nil || len(pkt) != 0 {
+		t.Fatalf("zero-length payload arrived as %#v", pkt)
+	}
+}
+
+func TestRecvTimeoutReturnsChannelDown(t *testing.T) {
+	sim, _ := newPair(t, Options{RecvTimeout: 80 * time.Millisecond}, Options{})
+	if _, err := sim.Recv(channel.AccToSim); !errors.Is(err, channel.ErrChannelDown) {
+		t.Fatalf("recv err = %v, want ErrChannelDown", err)
+	}
+}
+
+func TestEmptyEchoIsImmediateError(t *testing.T) {
+	sim, _ := newPair(t, Options{}, Options{})
+	start := time.Now()
+	_, err := sim.Recv(channel.SimToAcc)
+	if !errors.Is(err, channel.ErrChannelDown) {
+		t.Fatalf("recv err = %v, want ErrChannelDown", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("empty echo receive took %v; must fail immediately", d)
+	}
+}
+
+func TestWireFaultsHealedByARQ(t *testing.T) {
+	plan := &faultplan.ChannelFault{Corrupt: 0.2, Duplicate: 0.3, Delay: 0.1, MaxDelayUS: 50}
+	sim, acc := newPair(t,
+		Options{Faults: plan, FaultSeed: 41, ResyncEvery: 5 * time.Millisecond},
+		Options{Faults: plan, FaultSeed: 42, ResyncEvery: 5 * time.Millisecond})
+	const n = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := sim.Send(channel.SimToAcc, []amba.Word{amba.Word(i), amba.Word(i ^ 0xABCD)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pkt, err := acc.Recv(channel.SimToAcc)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(pkt) != 2 || pkt[0] != amba.Word(i) || pkt[1] != amba.Word(i^0xABCD) {
+			t.Fatalf("recv %d = %v: ARQ delivered out of order", i, pkt)
+		}
+		acc.Release(pkt)
+	}
+	wg.Wait()
+	st := sim.Stats()
+	if st.WireFaults == 0 {
+		t.Fatal("fault plan injected nothing; test is vacuous")
+	}
+	ast := acc.Stats()
+	if ast.CorruptFrames == 0 && ast.Dups == 0 {
+		t.Fatalf("receiver observed no faults (%+v); test is vacuous", ast)
+	}
+}
+
+func TestKillHealsWithReconnect(t *testing.T) {
+	sim, acc := newPair(t,
+		Options{RedialWait: 10 * time.Millisecond, ResyncEvery: 5 * time.Millisecond},
+		Options{ResyncEvery: 5 * time.Millisecond})
+	const n = 60
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			if err := sim.Send(channel.SimToAcc, []amba.Word{amba.Word(i)}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if i == 20 {
+				sim.Kill()
+			}
+			if i == 40 {
+				acc.Kill()
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		pkt, err := acc.Recv(channel.SimToAcc)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(pkt) != 1 || pkt[0] != amba.Word(i) {
+			t.Fatalf("recv %d = %v after reconnect", i, pkt)
+		}
+		acc.Release(pkt)
+	}
+	<-done
+	if st := sim.Stats(); st.Reconnects == 0 {
+		st2 := acc.Stats()
+		if st2.Reconnects == 0 {
+			t.Fatalf("no reconnects recorded on either side (sim %+v, acc %+v)", st, st2)
+		}
+	}
+}
+
+func TestExchangeSum(t *testing.T) {
+	sim, acc := newPair(t, Options{}, Options{})
+	var got [2][]byte
+	var errs [2]error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); got[0], errs[0] = sim.ExchangeSum([]byte("sim-digest"), 2*time.Second) }()
+	go func() { defer wg.Done(); got[1], errs[1] = acc.ExchangeSum([]byte("acc-digest"), 2*time.Second) }()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("sum exchange: %v / %v", errs[0], errs[1])
+	}
+	if string(got[0]) != "acc-digest" || string(got[1]) != "sim-digest" {
+		t.Fatalf("sum exchange swapped wrong blobs: %q / %q", got[0], got[1])
+	}
+}
+
+func TestPingSamplesRTT(t *testing.T) {
+	sim, _ := newPair(t, Options{PingEvery: 5 * time.Millisecond}, Options{})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := sim.Stats(); st.RTTSamples >= 2 { // handshake + ≥1 ping
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no ping RTT samples after 2s: %+v", sim.Stats())
+}
+
+func TestByteSumMatchesFrameSum(t *testing.T) {
+	words := []amba.Word{0xDEADBEEF, 1, 0, 0xFFFFFFFF, 0x12345678}
+	var b []byte
+	for _, w := range words {
+		b = amba.PutWord(b, w)
+	}
+	if byteSum(b) != uint32(channel.FrameSum(words)) {
+		t.Fatalf("byteSum %#x != FrameSum %#x: framing is not the FaultEndpoint scheme", byteSum(b), uint32(channel.FrameSum(words)))
+	}
+}
+
+func TestHandshakeRejectsBadMeta(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		// Reject everything: the accept loop keeps waiting, the dialer
+		// must see its connection die.
+		l.Accept(Options{Role: RoleAcc, VerifyMeta: func([]byte, string) error {
+			return errors.New("no")
+		}})
+	}()
+	_, err = Dial(l.Addr().String(), Options{Role: RoleSim, Meta: []byte("{}"), DialTimeout: time.Second})
+	if err == nil {
+		t.Fatal("dial succeeded against a rejecting acceptor")
+	}
+}

@@ -169,6 +169,16 @@ type Config struct {
 	ChannelFaults *faultplan.ChannelFault
 	// ChannelFaultSeed seeds the channel fault injection stream.
 	ChannelFaultSeed uint64
+	// Transport, when non-nil, supplies the physical packet transport
+	// for the wire path and implies WirePackets. This is how a domain
+	// pair splits across processes: each side runs the full engine with
+	// a mirrored remote transport (e.g. tcpchan) that ships the
+	// authoritative direction over a socket. Transports carry bits only
+	// — the engine still charges every access to its own ledger, so the
+	// modeled run is bit-identical to the in-process one. When
+	// ChannelFaults is also set, the fault endpoint wraps this
+	// transport.
+	Transport channel.Transport
 	// Adaptive enables the dynamic mode governor (the paper's §3 item 4
 	// "dynamic decisions among SLA, ALS and conservative operating
 	// modes"): when the recent misprediction rate exceeds
@@ -300,10 +310,14 @@ type Engine struct {
 	cfg     Config
 	domains [2]*Domain
 	ch      *channel.Channel
-	// ep, when non-nil, is the fault-injecting wrapper every wire-path
-	// packet travels through (Config.ChannelFaults). The loopback fast
-	// path never consults it: faults imply WirePackets.
-	ep      *channel.FaultEndpoint
+	// tr is the physical transport every wire-path packet travels
+	// through: a Loopback ring by default, a Queues transport under the
+	// fault endpoint, or an injected remote transport
+	// (Config.Transport). nil unless WirePackets — the loopback
+	// accounting path materializes no packets at all. Transports carry
+	// bits only; the engine charges all channel economics through e.ch
+	// explicitly, so stats and ledger are identical across transports.
+	tr      channel.Transport
 	ledger  vclock.Ledger
 	lob     *LOB
 	inject  *predict.FaultInjector
@@ -413,10 +427,24 @@ func NewEngine(d Design, cfg Config) (*Engine, error) {
 		}
 		cfg.WirePackets = true
 	}
+	if cfg.Transport != nil {
+		cfg.WirePackets = true
+	}
 	e := &Engine{cfg: cfg, lob: NewLOB(cfg.LOBDepth)}
 	e.ch = channel.New(*cfg.Stack, &e.ledger)
+	e.tr = cfg.Transport
+	if e.tr == nil && cfg.WirePackets {
+		if cfg.ChannelFaults != nil {
+			// The fault endpoint below reorders and drops physical
+			// frames; the general queue absorbs that, the bounded
+			// loopback ring would not.
+			e.tr = channel.NewQueues()
+		} else {
+			e.tr = channel.NewLoopback()
+		}
+	}
 	if cfg.ChannelFaults != nil {
-		e.ep = channel.NewFaultEndpoint(e.ch, cfg.ChannelFaults, cfg.ChannelFaultSeed)
+		e.tr = channel.NewFaultEndpoint(e.tr, cfg.ChannelFaults, cfg.ChannelFaultSeed)
 	}
 	simCyc := time.Duration(1e9 / cfg.SimSpeed)
 	accCyc := time.Duration(1e9 / cfg.AccSpeed)
@@ -527,46 +555,18 @@ func inactivePartial(p *amba.PartialState) bool {
 		(!p.HasAP || p.AP.Trans == amba.TransIdle)
 }
 
-// wireSend ships one packed packet on the wire path, through the
-// fault endpoint when one is configured.
-func (e *Engine) wireSend(d channel.Dir, pkt []amba.Word) {
-	if e.ep != nil {
-		e.ep.Send(d, pkt)
-		return
-	}
-	e.ch.Send(d, pkt)
-}
-
-// wireRecv dequeues the next wire-path packet. Only the fault endpoint
-// can fail a receive (checksum mismatch, sequence gap); the bare
-// channel's protocol guarantees delivery.
-func (e *Engine) wireRecv(d channel.Dir) ([]amba.Word, error) {
-	if e.ep != nil {
-		return e.ep.Recv(d)
-	}
-	return e.ch.Recv(d), nil
-}
-
-// wireRelease recycles a packet obtained from wireRecv.
-func (e *Engine) wireRelease(pkt []amba.Word) {
-	if e.ep != nil {
-		e.ep.Release(pkt)
-		return
-	}
-	e.ch.Release(pkt)
-}
-
-// sendPartial ships one domain contribution across the channel. The
-// default loopback path accounts the access at the packed size without
-// materializing a packet (the engine is both endpoints and already
-// holds the value); WirePackets forces the codec round trip.
-func (e *Engine) sendPartial(d channel.Dir, p *amba.PartialState) {
-	if e.cfg.WirePackets {
-		e.packBuf = p.Pack(e.packBuf[:0])
-		e.wireSend(d, e.packBuf)
-		return
-	}
+// sendPartial ships one domain contribution across the channel. Every
+// path charges the access at the packed payload size through e.ch — the
+// transport only moves bits. The default accounting path materializes
+// no packet (the engine is both endpoints and already holds the value);
+// WirePackets forces the codec round trip through e.tr.
+func (e *Engine) sendPartial(d channel.Dir, p *amba.PartialState) error {
 	e.ch.Account(d, p.PackedWords())
+	if !e.cfg.WirePackets {
+		return nil
+	}
+	e.packBuf = p.Pack(e.packBuf[:0])
+	return e.tr.Send(d, e.packBuf)
 }
 
 // recvPartial yields the contribution shipped with sendPartial. sent
@@ -580,12 +580,12 @@ func (e *Engine) recvPartial(d channel.Dir, sent *amba.PartialState, irqMask uin
 	if !e.cfg.WirePackets {
 		return sent, nil
 	}
-	pkt, err := e.wireRecv(d)
+	pkt, err := e.tr.Recv(d)
 	if err != nil {
 		return nil, err
 	}
 	p, _, err := amba.Unpack(pkt, irqMask)
-	e.wireRelease(pkt)
+	e.tr.Release(pkt)
 	e.rxBuf[d] = p
 	return &e.rxBuf[d], err
 }
@@ -603,9 +603,13 @@ func (e *Engine) conservativeCycle() error {
 	simOut := &e.consOut[SimDomain]
 	accOut := &e.consOut[AccDomain]
 	simD.EvaluateInto(&e.ledger, simOut)
-	e.sendPartial(channel.SimToAcc, simOut)
+	if err := e.sendPartial(channel.SimToAcc, simOut); err != nil {
+		return fmt.Errorf("core: conservative sim->acc: %w", err)
+	}
 	accD.EvaluateInto(&e.ledger, accOut)
-	e.sendPartial(channel.AccToSim, accOut)
+	if err := e.sendPartial(channel.AccToSim, accOut); err != nil {
+		return fmt.Errorf("core: conservative acc->sim: %w", err)
+	}
 
 	simIn, err := e.recvPartial(channel.AccToSim, accOut, accD.LocalIRQMask())
 	if err != nil {
@@ -913,27 +917,29 @@ func (e *Engine) transition(leader *Domain, budget int64) (int64, error) {
 		Domain: uint8(leader.ID()), Arg: int64(e.lob.Words()),
 	})
 
-	// Flush (S-2): the whole LOB crosses the channel as one burst. Both
-	// endpoints are this engine, so the loopback path accounts the
-	// access at the packed size and replays the entries straight from
-	// the buffer; WirePackets forces the codec round trip.
+	// Flush (S-2): the whole LOB crosses the channel as one burst,
+	// charged at the packed size (lob.Words() and the packed flush
+	// length agree by construction — the wire-codec differential pins
+	// it). The accounting path replays the entries straight from the
+	// buffer; WirePackets forces the codec round trip.
 	entries := e.lob.Entries()
 	got := entries
+	e.ch.Account(dirFrom(leader.ID()), e.lob.Words())
 	if e.cfg.WirePackets {
 		e.packBuf = packFlush(e.packBuf[:0], entries)
-		e.wireSend(dirFrom(leader.ID()), e.packBuf)
-		flushPkt, err := e.wireRecv(dirFrom(leader.ID()))
+		if err := e.tr.Send(dirFrom(leader.ID()), e.packBuf); err != nil {
+			return committedLead, fmt.Errorf("core: flush: %w", err)
+		}
+		flushPkt, err := e.tr.Recv(dirFrom(leader.ID()))
 		if err != nil {
 			return committedLead, fmt.Errorf("core: flush: %w", err)
 		}
 		got, err = unpackFlush(e.flushEnt[:0], flushPkt, leader.LocalIRQMask(), lagger.LocalIRQMask())
 		e.flushEnt = got[:0]
-		e.wireRelease(flushPkt)
+		e.tr.Release(flushPkt)
 		if err != nil {
 			return committedLead, err
 		}
-	} else {
-		e.ch.Account(dirFrom(leader.ID()), e.lob.Words())
 	}
 
 	// Follow-Up (L-path): the lagger replays each cycle with the
@@ -1126,18 +1132,20 @@ func (e *Engine) followUpQuiescent(lagger *Domain, got []Entry, i int) int64 {
 // the access and hands the values through; WirePackets forces the
 // codec round trip.
 func (e *Engine) exchangeReport(lagger *Domain, success bool, idx int, actual amba.PartialState) (bool, int, amba.PartialState, error) {
+	e.ch.Account(dirFrom(lagger.ID()), 1+actual.PackedWords())
 	if e.cfg.WirePackets {
 		e.packBuf = packReport(e.packBuf[:0], success, idx, actual)
-		e.wireSend(dirFrom(lagger.ID()), e.packBuf)
-		repPkt, err := e.wireRecv(dirFrom(lagger.ID()))
+		if err := e.tr.Send(dirFrom(lagger.ID()), e.packBuf); err != nil {
+			return false, 0, amba.PartialState{}, fmt.Errorf("core: report: %w", err)
+		}
+		repPkt, err := e.tr.Recv(dirFrom(lagger.ID()))
 		if err != nil {
 			return false, 0, amba.PartialState{}, fmt.Errorf("core: report: %w", err)
 		}
 		ok, i, act, err := unpackReport(repPkt, lagger.LocalIRQMask())
-		e.wireRelease(repPkt)
+		e.tr.Release(repPkt)
 		return ok, i, act, err
 	}
-	e.ch.Account(dirFrom(lagger.ID()), 1+actual.PackedWords())
 	return success, idx, actual, nil
 }
 

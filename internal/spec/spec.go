@@ -210,6 +210,16 @@ type Run struct {
 	// oldest are overwritten past the cap). 0 selects the tracer
 	// default. Host-side knob, excluded from the canonical hash.
 	TraceRing int `json:"trace_ring,omitempty"`
+
+	// MeasuredLatency asks a cross-process run (coemu -remote-domain)
+	// to sample the real link round trip (handshake + ping/pong) and
+	// report a performance estimate with the modeled Tch replaced by
+	// the measured latency — the paper's prediction packetizing masking
+	// a physical channel instead of a modeled one. Pure host-side
+	// observability: the canonical report is bit-identical with and
+	// without it, so it is excluded from the canonical hash like
+	// Trace/TraceRing. In-process runs ignore it.
+	MeasuredLatency bool `json:"measured_latency,omitempty"`
 }
 
 // Spec is a complete declarative co-emulation run.
@@ -478,6 +488,10 @@ func (s *Spec) CanonicalHash() (string, error) {
 	// with the plain run.
 	n.Run.Trace = false
 	n.Run.TraceRing = 0
+	// MeasuredLatency attaches host-side link measurement to a remote
+	// run; the canonical report is unaffected (the remote differential
+	// suite pins it), so it hashes as absent too.
+	n.Run.MeasuredLatency = false
 	b, err := json.Marshal(n)
 	if err != nil {
 		return "", fmt.Errorf("spec: canonical encode: %w", err)

@@ -45,6 +45,21 @@ const (
 	EvSync
 	// EvStore marks a rollback-state store (snapshot) by the leader.
 	EvStore
+	// EvTransportConnect marks a remote transport establishing (or
+	// accepting) its session; Arg is the connection generation (0 for
+	// the first connect). Transport events carry the frame sequence
+	// number in Cycle — host wall time is not cycle time, and the
+	// sequence axis keeps the export deterministic.
+	EvTransportConnect
+	// EvTransportResync marks a resync request sent to the peer; Arg is
+	// the next expected sequence number.
+	EvTransportResync
+	// EvTransportRetransmit marks a retransmission burst answering a
+	// peer resync; N is the number of frames re-sent.
+	EvTransportRetransmit
+	// EvTransportReconnect marks a connection loss healed by redial (or
+	// re-accept); Arg is the new connection generation.
+	EvTransportReconnect
 )
 
 // eventKindNames maps kinds to their wire names (stable: the JSON
@@ -60,6 +75,11 @@ var eventKindNames = [...]string{
 	EvFlush:        "flush",
 	EvSync:         "sync",
 	EvStore:        "store",
+
+	EvTransportConnect:    "transport_connect",
+	EvTransportResync:     "transport_resync",
+	EvTransportRetransmit: "transport_retransmit",
+	EvTransportReconnect:  "transport_reconnect",
 }
 
 // String returns the kind's wire name.
@@ -208,6 +228,7 @@ const (
 	tidFollowUp     = 2
 	tidRollback     = 3
 	tidChannel      = 4
+	tidTransport    = 5
 )
 
 // chromeTracks names the Perfetto lanes emitted as thread_name
@@ -218,6 +239,7 @@ var chromeTracks = map[int]string{
 	tidFollowUp:     "follow-up (lagger)",
 	tidRollback:     "rollback / roll-forth",
 	tidChannel:      "channel",
+	tidTransport:    "transport (frame seq)",
 }
 
 // WriteChromeTrace exports events in Chrome trace_event JSON array
@@ -319,6 +341,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			addArg("words", ev.Arg)
 		case EvSync, EvStore:
 			s.Ph, s.Tid, s.S = "i", tidRunAhead, "t"
+		case EvTransportConnect, EvTransportReconnect:
+			s.Ph, s.Tid, s.S = "i", tidTransport, "t"
+			addArg("generation", ev.Arg)
+		case EvTransportResync:
+			s.Ph, s.Tid, s.S = "i", tidTransport, "t"
+			addArg("expect", ev.Arg)
+		case EvTransportRetransmit:
+			s.Ph, s.Tid, s.S = "i", tidTransport, "t"
+			addArg("frames", ev.N)
 		default:
 			s.Ph, s.Tid, s.S = "i", tidConservative, "t"
 		}

@@ -102,16 +102,17 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal([]byte(b.String()), &arr); err != nil {
 		t.Fatalf("chrome trace is not a valid JSON array: %v\n%s", err, b.String())
 	}
-	// 1 process_name + 5 thread_name metadata records, then one record
-	// per event.
-	if want := 6 + len(events); len(arr) != want {
+	// 1 process_name + one thread_name metadata record per track, then
+	// one record per event.
+	meta := 1 + len(chromeTracks)
+	if want := meta + len(events); len(arr) != want {
 		t.Fatalf("trace has %d records, want %d", len(arr), want)
 	}
 	if arr[0]["ph"] != "M" || arr[0]["name"] != "process_name" {
 		t.Errorf("first record is not process metadata: %v", arr[0])
 	}
 	var spans, instants int
-	for _, rec := range arr[6:] {
+	for _, rec := range arr[meta:] {
 		switch rec["ph"] {
 		case "X":
 			spans++
