@@ -34,12 +34,16 @@
 // cumulative acks piggyback on data frames, duplicates are dropped by
 // sequence number, and a corrupt or out-of-order frame triggers a
 // RESYNC carrying the next expected sequence, answered by retransmission.
-// A receiver that waits too long re-sends its resync periodically, and
-// a dead connection is healed by redial (client) or re-accept (server)
-// with a resume handshake exchanging next-expected sequences — the
-// invariant being that a frame leaves the window only once the peer
-// has acknowledged it, so a reconnect can always resume exactly where
-// the stream broke.
+// A receiver that waits too long re-sends its resync periodically
+// (backing off exponentially, and never faster than the measured round
+// trip), and a dead connection is healed by redial (client) or
+// re-accept (server) with a resume handshake exchanging next-expected
+// sequences — the invariant being that a frame leaves the window only
+// once the peer has acknowledged it, so a reconnect can always resume
+// exactly where the stream broke. Both healing paths are bounded: the
+// dialer by its Redial budget, the acceptor by an equivalent re-accept
+// budget, after which the transport goes down instead of waiting
+// forever for a peer that crashed.
 package tcpchan
 
 import (
@@ -136,6 +140,10 @@ const (
 // bound means the peer stopped acknowledging long ago.
 const windowMax = 8192
 
+// maxResyncWait caps the exponential backoff between successive
+// resync requests within one blocked Recv.
+const maxResyncWait = time.Second
+
 // Options configures one endpoint.
 type Options struct {
 	// Role selects this endpoint's authoritative direction.
@@ -160,8 +168,10 @@ type Options struct {
 	// attempts.
 	Redial     int
 	RedialWait time.Duration
-	// ResyncEvery is how often a blocked receiver re-sends its resync
-	// request while waiting.
+	// ResyncEvery is the floor of the interval at which a blocked
+	// receiver re-sends its resync request: the actual wait starts at
+	// max(ResyncEvery, 2×measured RTT) and backs off exponentially up
+	// to maxResyncWait while the receiver stays blocked.
 	ResyncEvery time.Duration
 
 	// InjectRTT simulates link latency: every authoritative data send
@@ -198,6 +208,18 @@ func (o Options) withDefaults() Options {
 		o.ResyncEvery = DefaultResyncEvery
 	}
 	return o
+}
+
+// reacceptBudget is how long the acceptor side waits for a crashed
+// peer to resume before declaring the session dead — the mirror of the
+// dialer's worst case of Redial attempts (each bounded by DialTimeout)
+// with linear backoff between them.
+func reacceptBudget(o Options) time.Duration {
+	b := time.Duration(o.Redial) * o.DialTimeout
+	for i := 1; i < o.Redial; i++ {
+		b += time.Duration(i) * o.RedialWait
+	}
+	return b
 }
 
 // Stats summarizes one endpoint's wire activity. RTT fields are filled
@@ -277,16 +299,20 @@ type Transport struct {
 	gen      int64 // connection generation, for trace/debug
 	sendSeq  uint32
 	recvNext uint32 // next expected peer data seq
-	window   []winFrame
-	wfree    [][]amba.Word
-	unacked  int // delivered frames since last ack we sent
-	wbuf     []byte
-	frng     *rng.Source
-	st       Stats
-	rtt      *stats.Hist // microseconds
-	pingSeq  uint32
-	pingT0   time.Time
-	trc      *trace.Recorder
+	// pendingSum is this side's ExchangeSum blob; sum frames live
+	// outside the data window, so a reconnect re-sends it explicitly
+	// (the receiver drops duplicates via its one-slot queue).
+	pendingSum []byte
+	window     []winFrame
+	wfree      [][]amba.Word
+	unacked    int // delivered frames since last ack we sent
+	wbuf       []byte
+	frng       *rng.Source
+	st         Stats
+	rtt        *stats.Hist // microseconds
+	pingSeq    uint32
+	pingT0     time.Time
+	trc        *trace.Recorder
 
 	killed int64 // test hook: connections killed via Kill
 }
@@ -454,7 +480,7 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // dropped and accepting continues.
 func (l *Listener) Accept(o Options) (*Transport, []byte, error) {
 	o = o.withDefaults()
-	conn, h, err := l.acceptConn(o, nil)
+	conn, h, err := l.acceptConn(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -466,17 +492,81 @@ func (l *Listener) Accept(o Options) (*Transport, []byte, error) {
 	return t, h.Meta, nil
 }
 
-// acceptConn accepts and handshakes connections until one is
-// admissible. With resumeFor set, only resume hellos matching that
-// transport's session are admitted (fresh sessions must wait for the
-// next Accept).
-func (l *Listener) acceptConn(o Options, resumeFor *Transport) (net.Conn, helloMsg, error) {
+// deadlineListener is the optional accept-deadline capability
+// (*net.TCPListener has it) that makes re-accept waits abortable.
+type deadlineListener interface {
+	SetDeadline(time.Time) error
+}
+
+// acceptConn accepts and handshakes fresh-session connections until
+// one is admissible.
+func (l *Listener) acceptConn(o Options) (net.Conn, helloMsg, error) {
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				// A stale accept deadline left behind by a concurrent
+				// resume wait (acceptResume); clear it and keep going.
+				if dl, ok := l.ln.(deadlineListener); ok {
+					dl.SetDeadline(time.Time{})
+				}
+				continue
+			}
 			return nil, helloMsg{}, fmt.Errorf("tcpchan: accept: %w", err)
 		}
-		h, ok := l.admit(conn, o, resumeFor)
+		h, ok := l.admit(conn, o, nil)
+		if !ok {
+			conn.Close()
+			continue
+		}
+		return conn, h, nil
+	}
+}
+
+// acceptResume re-accepts a resumed connection for t's broken session.
+// Only resume hellos matching the session are admitted; fresh sessions
+// are dropped until the next Accept. Unlike the fresh accept this wait
+// must not wedge the process: it is chunked by listener deadlines so a
+// concurrent Close (t.stop / t.closed) aborts it promptly, and bounded
+// by the re-accept budget so a peer that crashed without a bye takes
+// the session down instead of squatting on the listener forever.
+func (l *Listener) acceptResume(t *Transport) (net.Conn, helloMsg, error) {
+	deadline := time.Now().Add(reacceptBudget(t.opts))
+	dl, chunked := l.ln.(deadlineListener)
+	if chunked {
+		defer dl.SetDeadline(time.Time{})
+	}
+	for {
+		select {
+		case <-t.stop:
+			return nil, helloMsg{}, fmt.Errorf("tcpchan: transport closed during re-accept")
+		default:
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return nil, helloMsg{}, fmt.Errorf("tcpchan: transport closed during re-accept")
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return nil, helloMsg{}, fmt.Errorf("tcpchan: peer did not resume within %v", reacceptBudget(t.opts))
+		}
+		if chunked {
+			step := deadline.Sub(now)
+			if max := 4 * t.opts.RedialWait; step > max {
+				step = max
+			}
+			dl.SetDeadline(now.Add(step))
+		}
+		conn, err := l.ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return nil, helloMsg{}, fmt.Errorf("tcpchan: accept: %w", err)
+		}
+		h, ok := l.admit(conn, t.opts, t)
 		if !ok {
 			conn.Close()
 			continue
@@ -634,10 +724,14 @@ func (t *Transport) writeRawLocked(b []byte) {
 // Recv implements channel.Transport. The authoritative direction pops
 // the local echo — empty means the engine broke its own exchange
 // protocol, reported immediately. The peer direction blocks on the
-// socket-fed queue up to RecvTimeout, re-requesting a resync every
-// ResyncEvery while it waits (harmless when nothing was lost: a
-// resync for a sequence the peer has not produced retransmits
-// nothing).
+// socket-fed queue up to RecvTimeout, re-requesting a resync while it
+// waits (harmless when nothing was lost: a resync for a sequence the
+// peer has not produced retransmits nothing). The resync cadence
+// starts at resyncWait — never faster than the measured round trip —
+// and backs off exponentially, because each resync makes the peer
+// retransmit its whole in-flight window: a fixed short cadence would
+// amplify traffic on exactly the high-latency links this transport
+// targets.
 func (t *Transport) Recv(d channel.Dir) ([]amba.Word, error) {
 	if d == t.role.dir() {
 		return t.echo.Recv(d)
@@ -649,16 +743,21 @@ func (t *Transport) Recv(d channel.Dir) ([]amba.Word, error) {
 	}
 	timer := time.NewTimer(t.opts.RecvTimeout)
 	defer timer.Stop()
-	tick := time.NewTicker(t.opts.ResyncEvery)
-	defer tick.Stop()
+	wait := t.resyncWait()
+	resync := time.NewTimer(wait)
+	defer resync.Stop()
 	for {
 		select {
 		case pkt := <-t.rxq:
 			return pkt, nil
-		case <-tick.C:
+		case <-resync.C:
 			t.mu.Lock()
 			t.sendResyncLocked()
 			t.mu.Unlock()
+			if wait *= 2; wait > maxResyncWait {
+				wait = maxResyncWait
+			}
+			resync.Reset(wait)
 		case <-timer.C:
 			return nil, fmt.Errorf("tcpchan: recv %v timed out after %v: %w", d, t.opts.RecvTimeout, channel.ErrChannelDown)
 		case <-t.stop:
@@ -679,6 +778,25 @@ func (t *Transport) sendResyncLocked() {
 	t.st.Resyncs++
 	t.traceLocked(trace.Event{Kind: trace.EvTransportResync, Domain: uint8(t.role), Arg: int64(t.recvNext)})
 	t.writeCtrlLocked(kindResync, t.recvNext, t.recvNext-1, nil)
+}
+
+// resyncWait is the initial resync interval for one blocked Recv: at
+// least ResyncEvery, and at least two measured mean round trips, so a
+// healthy link whose genuine RTT exceeds ResyncEvery is not flooded
+// with redundant retransmission requests.
+func (t *Transport) resyncWait() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.opts.ResyncEvery
+	if t.rtt.N() > 0 {
+		if m := time.Duration(2 * t.rtt.Mean() * float64(time.Microsecond)); m > w {
+			w = m
+		}
+	}
+	if w > maxResyncWait {
+		w = maxResyncWait
+	}
+	return w
 }
 
 // Release implements channel.Transport. Echo buffers recycle through
@@ -738,7 +856,12 @@ func (t *Transport) Kill() {
 // digests. Symmetric: both sides call it.
 func (t *Transport) ExchangeSum(blob []byte, timeout time.Duration) ([]byte, error) {
 	t.mu.Lock()
-	t.writeCtrlLocked(kindSum, 0, t.recvNext-1, blob)
+	// Sum frames live outside the data window, so keep the blob for
+	// explicit re-send on reconnect — otherwise a connection that is
+	// dead right now (write silently dropped) or dies in flight would
+	// strand both mirrors in the exchange timeout.
+	t.pendingSum = append([]byte(nil), blob...)
+	t.writeCtrlLocked(kindSum, 0, t.recvNext-1, t.pendingSum)
 	t.mu.Unlock()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -869,7 +992,7 @@ func (t *Transport) run() {
 // peer's next expected sequence.
 func (t *Transport) reestablish() bool {
 	if t.ln != nil {
-		conn, h, err := t.ln.acceptConn(t.opts, t)
+		conn, h, err := t.ln.acceptResume(t)
 		if err != nil {
 			return false
 		}
@@ -938,6 +1061,10 @@ func (t *Transport) adoptLocked(conn net.Conn) {
 	t.st.Reconnects++
 	t.traceLocked(trace.Event{Kind: trace.EvTransportReconnect, Domain: uint8(t.role), Arg: t.gen})
 	t.retransmitLocked(0)
+	if t.pendingSum != nil {
+		// The peer drops a duplicate via its one-slot sum queue.
+		t.writeCtrlLocked(kindSum, 0, t.recvNext-1, t.pendingSum)
+	}
 }
 
 // retransmitLocked re-sends every window frame with seq >= from (0

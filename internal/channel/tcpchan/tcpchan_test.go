@@ -2,6 +2,7 @@ package tcpchan
 
 import (
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -194,6 +195,74 @@ func TestKillHealsWithReconnect(t *testing.T) {
 	}
 }
 
+// crashedAcceptor returns an acc-role transport whose peer handshook
+// and then died abruptly — no bye frame, and no resume will ever
+// arrive, so the acceptor's reader is left in its re-accept wait.
+func crashedAcceptor(t *testing.T, srv Options) *Transport {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv.Role = RoleAcc
+	type accepted struct {
+		tr  *Transport
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		tr, _, err := l.Accept(srv)
+		ch <- accepted{tr, err}
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := handshake(conn, helloMsg{
+		Magic: protocolMagic, Version: protocolVersion,
+		Role: RoleSim.String(), Hash: "h",
+	}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	t.Cleanup(func() { acc.tr.Close() })
+	conn.Close()
+	return acc.tr
+}
+
+func TestAcceptorCloseUnblocksAfterPeerCrash(t *testing.T) {
+	acc := crashedAcceptor(t, Options{RedialWait: 5 * time.Millisecond})
+	time.Sleep(50 * time.Millisecond) // let acc's reader enter the re-accept wait
+	done := make(chan struct{})
+	go func() { acc.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("acceptor Close deadlocked while waiting to re-accept a crashed peer")
+	}
+}
+
+func TestAcceptorReacceptBudgetBounded(t *testing.T) {
+	acc := crashedAcceptor(t, Options{
+		Redial: 1, DialTimeout: 150 * time.Millisecond,
+		RedialWait: time.Millisecond, RecvTimeout: 30 * time.Second,
+	})
+	// The re-accept budget (Redial×DialTimeout + backoff) expires and
+	// takes the transport down well before RecvTimeout would.
+	start := time.Now()
+	_, err := acc.Recv(channel.SimToAcc)
+	if !errors.Is(err, channel.ErrChannelDown) {
+		t.Fatalf("recv err = %v, want ErrChannelDown", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("transport took %v to notice the peer is gone for good", d)
+	}
+}
+
 func TestExchangeSum(t *testing.T) {
 	sim, acc := newPair(t, Options{}, Options{})
 	var got [2][]byte
@@ -208,6 +277,42 @@ func TestExchangeSum(t *testing.T) {
 	}
 	if string(got[0]) != "acc-digest" || string(got[1]) != "sim-digest" {
 		t.Fatalf("sum exchange swapped wrong blobs: %q / %q", got[0], got[1])
+	}
+}
+
+func TestExchangeSumSurvivesReconnect(t *testing.T) {
+	sim, acc := newPair(t,
+		Options{RedialWait: 5 * time.Millisecond},
+		Options{RedialWait: 5 * time.Millisecond})
+	// Kill the connection first: the sum writes land on a dead (or
+	// dying) socket and must be re-sent by the reconnect path.
+	sim.Kill()
+	var got [2][]byte
+	var errs [2]error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); got[0], errs[0] = sim.ExchangeSum([]byte("sim-digest"), 5*time.Second) }()
+	go func() { defer wg.Done(); got[1], errs[1] = acc.ExchangeSum([]byte("acc-digest"), 5*time.Second) }()
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("sum exchange across a reconnect: %v / %v", errs[0], errs[1])
+	}
+	if string(got[0]) != "acc-digest" || string(got[1]) != "sim-digest" {
+		t.Fatalf("sum exchange delivered wrong blobs: %q / %q", got[0], got[1])
+	}
+}
+
+func TestResyncBacksOffWhileBlocked(t *testing.T) {
+	sim, _ := newPair(t,
+		Options{ResyncEvery: time.Millisecond, RecvTimeout: 300 * time.Millisecond},
+		Options{})
+	if _, err := sim.Recv(channel.AccToSim); !errors.Is(err, channel.ErrChannelDown) {
+		t.Fatalf("recv err = %v, want ErrChannelDown", err)
+	}
+	// A fixed 1ms cadence would send ~300 resyncs in 300ms; the
+	// exponential backoff keeps it to a handful.
+	if st := sim.Stats(); st.Resyncs > 20 {
+		t.Fatalf("blocked Recv sent %d resyncs; backoff is not applied", st.Resyncs)
 	}
 }
 
