@@ -381,6 +381,22 @@ func BenchmarkCycleBatching(b *testing.B) {
 	}
 }
 
+// multimasterDesign compiles the multimaster example spec once; the
+// compiled design builds fresh component instances per engine run, so
+// it is safe to reuse across benchmark iterations.
+func multimasterDesign(b *testing.B) (coemu.Design, coemu.Config) {
+	b.Helper()
+	s, err := coemu.LoadSpec("examples/multimaster/spec.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, cfg, err := s.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, cfg
+}
+
 // BenchmarkHostThroughput measures the library's real (host) speed:
 // target cycles simulated per host second, for the reference bus, the
 // conservative engine and the optimistic engine.
@@ -414,6 +430,40 @@ func BenchmarkHostThroughput(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cfg := coemu.Config{Mode: coemu.ALS, Accuracy: 0.5, FaultSeed: 3}
 			if _, err := coemu.Run(d, cfg, benchCycles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
+	})
+	b.Run("als-workers4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coemu.Run(d, coemu.Config{Mode: coemu.ALS, Workers: 4}, benchCycles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
+	})
+	// multimaster is the parallel cycle loop's target workload: four
+	// masters split across both buses, so Workers=4 engages the domain
+	// pipeline and the per-bus drive fan-out. The workers4 variants back
+	// the benchdiff scaling gate (see BENCH_baseline.json "scaling"):
+	// on a multi-core runner workers=4 must beat workers=1 by the
+	// configured floor, while workers=1 stays inside the plain
+	// regression envelope.
+	mmd, mmCfg := multimasterDesign(b)
+	b.Run("multimaster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := coemu.Run(mmd, mmCfg, benchCycles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(benchCycles)*float64(b.N)/b.Elapsed().Seconds(), "target-cyc/s")
+	})
+	b.Run("multimaster-workers4", func(b *testing.B) {
+		cfg := mmCfg
+		cfg.Workers = 4
+		for i := 0; i < b.N; i++ {
+			if _, err := coemu.Run(mmd, cfg, benchCycles); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,444 @@
+// Parallel cycle loop (Config.Workers > 1).
+//
+// The engine stays bit-identical to its sequential self by never
+// letting goroutines race on anything order-sensitive. Three rules
+// carry the whole file:
+//
+//  1. Owner partitioning. During a parallel span every piece of
+//     engine state has exactly one owning goroutine. A conservative
+//     cycle splits by domain (coordinator: SimDomain, lane 0:
+//     AccDomain — domains share no state, and their ledger charges go
+//     to different categories, i.e. different array slots). A
+//     pipelined transition splits by role: the coordinator owns the
+//     leader domain, the LOB, preds, Declines and the run-ahead stats;
+//     the lane-0 worker owns the lagger domain, the fault injector,
+//     failEWMA, the kept trace, the protocol checker and the
+//     follow-up stats. The join (Pool.Wait) ends the span; afterwards
+//     the coordinator owns everything again.
+//  2. Commutative sums may interleave. Ledger buckets and channel
+//     statistics are pure sums of per-operation charges, so the only
+//     cross-goroutine overlap the pipeline allows — lagger follow-up
+//     charging its domain category while the leader is still charging
+//     run-ahead and channel costs — cannot change any total.
+//  3. Anything else keeps its sequential order on the coordinator:
+//     channel sends/receives, the rollback restore and roll-forth,
+//     report exchange, trace events.
+//
+// Run-ahead/follow-up handoff: the LOB's backing array never
+// reallocates (NewLOB preallocates depth entries), so the leader
+// deposits entries with plain writes and publishes them by storing the
+// new length to an atomic counter; the worker acquires entries through
+// that counter and replays them. A misprediction needs no speculative
+// fencing because the sequential engine already completes the entire
+// run-ahead before the first follow-up check — the worker just stops
+// consuming, the leader runs ahead to its natural stop exactly as the
+// sequential engine does, and the coordinator performs the rollback
+// after the join. The join IS the fence: the delta-ring restore only
+// ever runs with every worker lane idle.
+//
+// The one deliberately tolerated divergence is Stats.BatchedCycles:
+// the worker's follow-up batches are bounded by what has been
+// published when it looks, so batch boundaries (not totals of any
+// other counter) depend on timing. BatchedCycles is a host-side
+// diagnostic excluded from the canonical report view for exactly this
+// kind of reason; every view-visible counter (FollowUpCycles,
+// ChecksTotal, Committed, the failEWMA stream) is a per-cycle sum that
+// batch splits cannot change, which the workers differential suite
+// pins.
+//
+// The pipeline is gated off under WirePackets (the codec round trip
+// serializes through shared packet buffers), an attached Tracer (trace
+// events read counters across the role split), and
+// PaperStrictTransitions (its opening conservative cycle interleaves
+// both domains mid-transition). Those runs still parallelize
+// conservative cycles and bus evaluation — and still report
+// bit-identically, pinned by the fallback differential tests.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"coemu/internal/amba"
+	"coemu/internal/channel"
+	"coemu/internal/par"
+)
+
+// parState is the preallocated cross-goroutine state of the parallel
+// paths. Fields are grouped by protocol; every field is either written
+// before a Dispatch and read after (coordinator->worker arguments,
+// worker->coordinator results — the pool's counters order them) or is
+// one of the two atomics that carry the mid-span handoff.
+type parState struct {
+	// Conservative-cycle tasks for lane 0, built once in startWorkers
+	// so dispatching never allocates.
+	evalAcc   func()
+	commitAcc func()
+	// accIn is commitAcc's argument; fullAcc its result.
+	accIn   *amba.PartialState
+	fullAcc *amba.CycleState
+
+	// followUpTask runs followUpLoop on lane 0 for one pipelined
+	// transition.
+	followUpTask func()
+	// entries is the full-capacity view of the LOB backing array the
+	// worker replays from; published is how many entries are visible.
+	entries   []Entry
+	published atomic.Int64
+	// abort tells the worker to stop consuming (cancellation or a
+	// coordinator-side error); the coordinator still joins afterwards.
+	abort atomic.Bool
+
+	// Per-transition worker arguments and results.
+	lagger     *Domain
+	committed  int64             // follow-up cycles committed by the worker
+	mispredIdx int               // entry index of the misprediction, -1 = none
+	laggerOut  amba.PartialState // lagger contribution of the stopping cycle
+	batched    int64             // worker-side BatchedCycles, merged after join
+	err        error             // errCanceled or a committed-trace failure
+}
+
+// busLane adapts a pool lane to the bus package's EvalLane fan-out
+// hook.
+type busLane struct {
+	pool *par.Pool
+	lane int
+}
+
+func (l busLane) Dispatch(fn func()) { l.pool.Dispatch(l.lane, fn) }
+func (l busLane) Wait()              { l.pool.Wait(l.lane) }
+
+// startWorkers brings up the worker pool for a Workers>1 run. Lane 0
+// carries the domain-level work; Workers >= 4 adds a lane per bus for
+// the master-drive fan-out. The pool lives strictly within RunContext
+// (stopWorkers is deferred right after this call), so an engine that
+// is built but never run leaks no goroutines.
+func (e *Engine) startWorkers() {
+	if e.cfg.Workers <= 1 {
+		return
+	}
+	lanes := 1
+	if e.cfg.Workers >= 4 {
+		lanes = 3
+	}
+	e.pool = par.NewPool(lanes)
+	if lanes >= 3 {
+		e.domains[SimDomain].Bus().SetEvalLane(busLane{e.pool, 1})
+		e.domains[AccDomain].Bus().SetEvalLane(busLane{e.pool, 2})
+	}
+	if e.par.evalAcc == nil {
+		e.par.evalAcc = func() {
+			e.domains[AccDomain].EvaluateInto(&e.ledger, &e.consOut[AccDomain])
+		}
+		e.par.commitAcc = func() {
+			e.par.fullAcc = e.domains[AccDomain].CommitFrom(e.par.accIn)
+		}
+		e.par.followUpTask = e.followUpLoop
+	}
+	// The LOB backing array is stable for the engine's lifetime; one
+	// full-capacity view serves every transition.
+	e.par.entries = e.lob.entries[:cap(e.lob.entries)]
+}
+
+// stopWorkers tears the pool down at run exit. Every lane is idle
+// here: each parallel path joins its dispatches before returning, and
+// error paths abort-and-join before unwinding to RunContext.
+func (e *Engine) stopWorkers() {
+	if e.pool == nil {
+		return
+	}
+	e.domains[SimDomain].Bus().SetEvalLane(nil)
+	e.domains[AccDomain].Bus().SetEvalLane(nil)
+	e.pool.Close()
+	e.pool = nil
+}
+
+// pipelineOK reports whether transitions run the pipelined path; see
+// the file comment for why each gate exists.
+func (e *Engine) pipelineOK() bool {
+	return e.pool != nil && !e.cfg.WirePackets && e.cfg.Tracer == nil &&
+		!e.cfg.PaperStrictTransitions
+}
+
+// conservativeCycleParallel is conservativeCycle with the two domains'
+// evaluate and commit steps running concurrently: lane 0 handles the
+// accelerator domain while the coordinator handles the simulator.
+// Domains share no state and charge disjoint ledger categories, so the
+// only reordering against the sequential engine is between the two
+// domains' category sums — commutative. Channel traffic keeps its
+// sequential order on the coordinator, after the evaluation join.
+func (e *Engine) conservativeCycleParallel() error {
+	if e.canceled() {
+		return errCanceled
+	}
+	simD, accD := e.domains[SimDomain], e.domains[AccDomain]
+	simOut := &e.consOut[SimDomain]
+	accOut := &e.consOut[AccDomain]
+	e.pool.Dispatch(0, e.par.evalAcc)
+	simD.EvaluateInto(&e.ledger, simOut)
+	e.pool.Wait(0)
+	if err := e.sendPartial(channel.SimToAcc, simOut); err != nil {
+		return fmt.Errorf("core: conservative sim->acc: %w", err)
+	}
+	if err := e.sendPartial(channel.AccToSim, accOut); err != nil {
+		return fmt.Errorf("core: conservative acc->sim: %w", err)
+	}
+
+	simIn, err := e.recvPartial(channel.AccToSim, accOut, accD.LocalIRQMask())
+	if err != nil {
+		return fmt.Errorf("core: conservative sim<-acc: %w", err)
+	}
+	accIn, err := e.recvPartial(channel.SimToAcc, simOut, simD.LocalIRQMask())
+	if err != nil {
+		return fmt.Errorf("core: conservative acc<-sim: %w", err)
+	}
+
+	e.par.accIn = accIn
+	e.pool.Dispatch(0, e.par.commitAcc)
+	fullSim := simD.CommitFrom(simIn)
+	e.pool.Wait(0)
+	if *fullSim != *e.par.fullAcc {
+		return fmt.Errorf("core: domains diverged on a conservative cycle:\nsim: %s\nacc: %s", fullSim, e.par.fullAcc)
+	}
+	e.consFull = *fullSim
+	e.stats.ConservativeCycles++
+	e.failEWMA *= ewmaDecay
+	e.noteConservative(e.stats.Committed, 1)
+	return e.commitTrace(&e.consFull)
+}
+
+// transitionPipelined is transition with the leader's run-ahead
+// (coordinator) overlapped with the lagger's follow-up (lane 0). The
+// run-ahead body is the sequential loop verbatim — plus a publication
+// store after each deposit — because the sequential engine's
+// run-ahead never depends on follow-up progress. Everything after the
+// join (report exchange, rollback, roll-forth) is sequential
+// coordinator code again.
+func (e *Engine) transitionPipelined(leader *Domain, budget int64) (int64, error) {
+	lagger := e.domains[leader.ID().Other()]
+	e.stats.Transitions++
+	e.stats.TransitionsByLead[leader.ID()]++
+
+	// rb_store (P-5): capture the leader before optimistic operation.
+	snap := leader.Snapshot(&e.ledger, e.vars(leader))
+	e.stats.Stores++
+	e.lob.Reset()
+
+	// Arm and launch the follow-up worker. The publication counter
+	// reset must precede the dispatch (the pool's sequence counter
+	// orders it); abort is only ever raised by the error paths below.
+	p := &e.par
+	p.published.Store(0)
+	p.abort.Store(false)
+	p.lagger = lagger
+	p.committed = 0
+	p.mispredIdx = -1
+	p.batched = 0
+	p.err = nil
+	e.pool.Dispatch(0, p.followUpTask)
+
+	// abortJoin stops the worker, joins it, and merges its partial
+	// results so an early exit leaves the stats exactly as far as the
+	// run actually got.
+	abortJoin := func(err error) (int64, error) {
+		p.abort.Store(true)
+		e.pool.Wait(0)
+		e.stats.BatchedCycles += p.batched
+		if p.err != nil && err == errCanceled {
+			err = p.err
+		}
+		return p.committed, err
+	}
+
+	// Run-Ahead (P-path), exactly as the sequential transition.
+	preds := e.preds[:0]
+	defer func() { e.preds = preds[:0] }()
+	var entry Entry
+	entry.HasPred = true
+	for {
+		if e.canceled() {
+			return abortJoin(errCanceled)
+		}
+		entry.words = 0
+		leader.EvaluateInto(&e.ledger, &entry.Out)
+		reason := leader.PredictInto(&entry.Pred)
+		last := false
+		if reason != DeclineNone {
+			e.stats.Declines[reason]++
+			last = true
+		} else if int64(e.lob.Len()+1) >= budget {
+			last = true // the budgeted final cycle resolves conventionally
+		} else if e.lob.Words()+entry.Words()+maxPartialWords > e.lob.Depth() {
+			last = true
+		}
+		if last {
+			final := Entry{Out: entry.Out}
+			e.lob.Push(&final)
+			p.published.Store(int64(e.lob.Len()))
+			break
+		}
+		e.lob.Push(&entry)
+		preds = append(preds, entry.Pred)
+		leader.CommitFrom(&entry.Pred)
+		e.stats.RunAheadCycles++
+
+		// Predicted-quiescence fast path of the run-ahead (see
+		// transition); the batch deposits publish together with the
+		// seed entry below.
+		if n := e.runAheadQuiescent(leader, &entry, budget); n > 0 {
+			if e.canceled() {
+				p.published.Store(int64(e.lob.Len()))
+				return abortJoin(errCanceled)
+			}
+			for k := int64(0); k < n; k++ {
+				e.lob.Push(&entry)
+				preds = append(preds, entry.Pred)
+			}
+			leader.AdvanceQuiescent(&e.ledger, n)
+			e.stats.RunAheadCycles += n
+			e.stats.BatchedCycles += n
+		}
+		p.published.Store(int64(e.lob.Len()))
+	}
+
+	// Flush (S-2): the pipeline is gated off under WirePackets, so
+	// this is always the accounting path — one burst charge at the
+	// packed size, no packet materialized.
+	got := e.lob.Entries()
+	e.ch.Account(dirFrom(leader.ID()), e.lob.Words())
+
+	// Join: after this the worker lane is idle and the coordinator
+	// owns every field again. This is the rollback fence — a restore
+	// below can never race a follow-up replay.
+	e.pool.Wait(0)
+	e.stats.BatchedCycles += p.batched
+	committed := p.committed
+	if p.err != nil {
+		return committed, p.err
+	}
+
+	if p.mispredIdx < 0 {
+		// Every prediction held and the worker replayed through the
+		// final, prediction-less entry: report the lagger's actual
+		// contribution (R-path); the leader completes its pending
+		// cycle with it.
+		ok, _, actual, err := e.exchangeReport(lagger, true, 0, p.laggerOut)
+		if err != nil || !ok {
+			return committed, fmt.Errorf("core: success report: ok=%v err=%v", ok, err)
+		}
+		leader.CommitFrom(&actual)
+		return committed, nil
+	}
+
+	// Prediction failure (L-5) at entry i: report, RollBack (S-6),
+	// Roll-Forth (F-path) — sequential code on the coordinator.
+	i := p.mispredIdx
+	ok, idx, actual, err := e.exchangeReport(lagger, false, i, p.laggerOut)
+	if err != nil || ok || idx != i {
+		return committed, fmt.Errorf("core: failure report: ok=%v idx=%d err=%v", ok, idx, err)
+	}
+	leader.Rollback(&e.ledger, e.vars(leader), snap)
+	e.stats.Rollbacks++
+	e.stats.Restores++
+	e.rollLen.Add(i + 1)
+	for r := 0; r <= i; r++ {
+		var replayOut amba.PartialState
+		leader.EvaluateInto(&e.ledger, &replayOut)
+		if replayOut != got[r].Out {
+			return committed, fmt.Errorf("core: roll-forth diverged at %d/%d:\nwas: %+v\nnow: %+v", r, i, got[r].Out, replayOut)
+		}
+		remote := &actual
+		if r < i {
+			remote = &preds[r]
+		}
+		leader.CommitFrom(remote)
+		e.stats.RollForthCycles++
+	}
+	return committed, nil
+}
+
+// followUpLoop is the lane-0 task of a pipelined transition: the
+// lagger's follow-up replay (the transition's L-path loop verbatim,
+// minus trace events — the pipeline is gated on Tracer == nil),
+// consuming LOB entries as the leader publishes them. It returns when
+// it has replayed the final entry, detected a misprediction, been
+// aborted, or seen cancellation; results travel back through parState.
+func (e *Engine) followUpLoop() {
+	p := &e.par
+	lagger := p.lagger
+	consumed := int64(0)
+	spins := 0
+	for {
+		avail := p.published.Load()
+		if avail <= consumed {
+			// Awaiting the leader's next deposit. Yield once past the
+			// hot-spin budget so a GOMAXPROCS=1 host schedules the
+			// leader instead of stalling on this loop.
+			if p.abort.Load() {
+				return
+			}
+			if spins++; spins > 64 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spins = 0
+		entry := &p.entries[consumed]
+		if e.canceled() {
+			p.err = errCanceled
+			return
+		}
+		var laggerOut amba.PartialState
+		lagger.EvaluateInto(&e.ledger, &laggerOut)
+		full := lagger.CommitFrom(&entry.Out)
+		e.stats.FollowUpCycles++
+		if err := e.commitTrace(full); err != nil {
+			p.err = err
+			return
+		}
+		p.committed++
+		consumed++
+
+		if !entry.HasPred {
+			p.laggerOut = laggerOut
+			return
+		}
+
+		e.stats.ChecksTotal++
+		match := laggerOut == entry.Pred
+		if match && e.inject != nil && e.inject.Mispredict() {
+			match = false
+			e.stats.Injected++
+		}
+		if match {
+			e.failEWMA *= 1 - ewmaBlend
+			// Predicted-quiescence fast path over the published
+			// prefix. Publication timing only moves batch boundaries;
+			// every per-cycle effect below is a sum the boundaries
+			// cannot change (except BatchedCycles, merged after the
+			// join and excluded from the report view).
+			if n := e.followUpQuiescent(lagger, p.entries[:avail], int(consumed-1)); n > 0 {
+				lagger.AdvanceQuiescent(&e.ledger, n)
+				e.stats.FollowUpCycles += n
+				e.stats.ChecksTotal += n
+				p.batched += n
+				for k := int64(0); k < n; k++ {
+					e.failEWMA *= 1 - ewmaBlend
+				}
+				if err := e.commitTraceN(full, n); err != nil {
+					p.err = err
+					return
+				}
+				p.committed += n
+				consumed += n
+			}
+			continue
+		}
+		e.failEWMA = e.failEWMA*(1-ewmaBlend) + ewmaBlend
+		e.stats.Mispredicts++
+		p.mispredIdx = int(consumed - 1)
+		p.laggerOut = laggerOut
+		return
+	}
+}

@@ -1,0 +1,159 @@
+// Package par provides the engine's intra-cycle worker pool: a fixed
+// set of lanes, each backed by one pinned goroutine, over which the
+// cycle loop fans out short independent pieces of work (a domain
+// evaluation, half a bus's master drives) and joins them before any
+// order-sensitive step.
+//
+// The pool is built for sub-microsecond tasks on a hot loop, so the
+// handoff protocol is allocation-free and lock-free on the fast path:
+// Dispatch publishes the task through an atomic sequence counter, Wait
+// spins on the matching completion counter. Workers spin briefly, then
+// yield to the scheduler, then park on a channel — so a pool on a
+// GOMAXPROCS=1 host degrades to cooperative scheduling instead of
+// livelocking, and an idle pool burns no CPU.
+//
+// Each lane is a SPSC slot: exactly one goroutine may Dispatch/Wait a
+// given lane at a time, with Wait required between Dispatches. The
+// engine upholds this by construction — the coordinator owns every
+// lane it uses, and a worker that itself coordinates a nested fan-out
+// uses different lanes than its own.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Spin thresholds of the wait loops: full-speed polls before the first
+// Gosched, and total polls before a worker parks on its wake channel.
+// The coordinator's Wait never parks — the joined work is at most a
+// cycle's worth, and a blocked join would cost a futex round trip per
+// cycle.
+const (
+	spinHot  = 128
+	spinPark = 4096
+)
+
+// lane is one worker slot. seq counts dispatched tasks, done completed
+// ones; seq > done means the stored fn is pending. parked+wake
+// implement the blocking slow path: a worker that announces itself
+// parked receives exactly one wake token for the next dispatch.
+type lane struct {
+	seq    atomic.Uint64
+	done   atomic.Uint64
+	fn     func()
+	parked atomic.Bool
+	wake   chan struct{}
+
+	// pad keeps lanes off each other's cache lines; false sharing on
+	// the counters would serialize exactly the loop the pool exists to
+	// parallelize.
+	_ [64]byte
+}
+
+// Pool runs tasks on a fixed set of worker lanes.
+type Pool struct {
+	lanes []*lane
+	wg    sync.WaitGroup
+}
+
+// NewPool starts n worker goroutines, one per lane. Close must be
+// called to release them.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("par: pool size %d < 1", n))
+	}
+	p := &Pool{lanes: make([]*lane, n)}
+	for i := range p.lanes {
+		l := &lane{wake: make(chan struct{}, 1)}
+		p.lanes[i] = l
+		p.wg.Add(1)
+		go p.run(l)
+	}
+	return p
+}
+
+// Lanes returns the number of worker lanes.
+func (p *Pool) Lanes() int { return len(p.lanes) }
+
+// Dispatch hands fn to lane i. The caller must Wait(i) before the next
+// Dispatch(i); passing a pre-built func value keeps the call
+// allocation-free. A nil fn is the shutdown signal and is reserved for
+// Close.
+func (p *Pool) Dispatch(i int, fn func()) {
+	l := p.lanes[i]
+	l.fn = fn
+	l.seq.Add(1)
+	if l.parked.Swap(false) {
+		l.wake <- struct{}{}
+	}
+}
+
+// Wait blocks until lane i's dispatched task has completed. The atomic
+// completion counter makes every write of the task visible to the
+// caller.
+func (p *Pool) Wait(i int) {
+	l := p.lanes[i]
+	seq := l.seq.Load()
+	for spins := 0; l.done.Load() < seq; spins++ {
+		if spins > spinHot {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close shuts the workers down and waits for them to exit. Every lane
+// must be idle (Waited) when Close is called.
+func (p *Pool) Close() {
+	for i := range p.lanes {
+		p.Dispatch(i, nil)
+	}
+	p.wg.Wait()
+}
+
+// run is the worker loop: await the next sequence number, run the
+// task, publish completion.
+func (p *Pool) run(l *lane) {
+	defer p.wg.Done()
+	for next := uint64(1); ; next++ {
+		for spins := 0; l.seq.Load() < next; spins++ {
+			switch {
+			case spins < spinHot:
+				// hot spin: the dispatch is usually nanoseconds away
+			case spins < spinPark:
+				runtime.Gosched()
+			default:
+				l.park(next)
+				spins = spinHot // woken: resume yielding, never re-spin hot
+			}
+		}
+		fn := l.fn
+		if fn == nil {
+			l.done.Store(next)
+			return
+		}
+		fn()
+		l.done.Store(next)
+	}
+}
+
+// park blocks the worker until the dispatch of sequence number next.
+// The handshake with Dispatch guarantees exactly one token per parked
+// announcement: whichever side swaps parked back to false first owns
+// the decision, and when Dispatch wins it has sent (or is about to
+// send) the token the worker must consume.
+func (l *lane) park(next uint64) {
+	l.parked.Store(true)
+	if l.seq.Load() >= next {
+		// The dispatch raced in between the spin check and the
+		// announcement. If Dispatch already observed the announcement
+		// (our swap loses), a token is in flight — drain it.
+		if !l.parked.Swap(false) {
+			<-l.wake
+		}
+		return
+	}
+	<-l.wake
+}

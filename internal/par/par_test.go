@@ -1,0 +1,118 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDispatchWaitOrdering(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	var x, y int
+	fx := func() { x++ }
+	fy := func() { y += x }
+	for i := 0; i < 10000; i++ {
+		p.Dispatch(0, fx)
+		p.Wait(0)
+		p.Dispatch(1, fy)
+		p.Wait(1)
+	}
+	if x != 10000 {
+		t.Fatalf("x = %d, want 10000", x)
+	}
+	// Each fy observes the fx that completed just before it:
+	// y = 1 + 2 + ... + 10000.
+	if want := 10000 * 10001 / 2; y != want {
+		t.Fatalf("y = %d, want %d", y, want)
+	}
+}
+
+func TestLanesRunConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS >= 2 to observe concurrency")
+	}
+	p := NewPool(2)
+	defer p.Close()
+
+	var entered atomic.Int32
+	rendezvous := func() {
+		entered.Add(1)
+		for entered.Load() < 2 {
+			runtime.Gosched()
+		}
+	}
+	// Both lanes must be inside the task at once for either to finish.
+	p.Dispatch(0, rendezvous)
+	p.Dispatch(1, rendezvous)
+	p.Wait(0)
+	p.Wait(1)
+	if entered.Load() != 2 {
+		t.Fatalf("entered = %d, want 2", entered.Load())
+	}
+}
+
+func TestParkWakeStress(t *testing.T) {
+	// Force the park path: dispatch rarely enough that workers give up
+	// spinning, across enough iterations to exercise the handshake
+	// races under -race.
+	p := NewPool(1)
+	defer p.Close()
+
+	var n int
+	fn := func() { n++ }
+	for i := 0; i < 300; i++ {
+		for s := 0; s < 3*spinPark; s++ {
+			runtime.Gosched()
+		}
+		p.Dispatch(0, fn)
+		p.Wait(0)
+	}
+	if n != 300 {
+		t.Fatalf("n = %d, want 300", n)
+	}
+}
+
+func TestDispatchDoesNotAllocate(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	var n int
+	fn := func() { n++ }
+	p.Dispatch(0, fn)
+	p.Wait(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Dispatch(0, fn)
+		p.Wait(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Dispatch+Wait allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestCloseReleasesWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(4)
+	var n atomic.Int64
+	fn := func() { n.Add(1) }
+	for i := 0; i < 4; i++ {
+		p.Dispatch(i, fn)
+	}
+	for i := 0; i < 4; i++ {
+		p.Wait(i)
+	}
+	p.Close()
+	if n.Load() != 4 {
+		t.Fatalf("ran %d tasks, want 4", n.Load())
+	}
+	// Close waits for worker exit, so the goroutine count settles
+	// immediately (allow scheduler slack for unrelated runtime
+	// goroutines).
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		runtime.Gosched()
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Fatalf("goroutines after Close: %d, want <= %d", got, before+1)
+	}
+}

@@ -1,0 +1,286 @@
+package coemu_test
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"coemu"
+	"coemu/internal/service"
+	"coemu/internal/trace"
+)
+
+// Differential tests for the parallel cycle loop (Config.Workers /
+// run.workers). The contract under test is the same as the batching
+// and delta suites pin for their knobs: Workers is a host-side fast
+// path, so every modeled metric — ledger, behavioral counters, channel
+// statistics, histograms, traces — is bit-identical at every width, on
+// every workload, crossed with the other host knobs and under fault
+// storms. The engine deliberately never clamps Workers to GOMAXPROCS;
+// the CI parallel-determinism matrix runs this suite at GOMAXPROCS
+// 1, 2 and 4 to prove width-independence at every host parallelism.
+
+// workersSweep is the width grid: 2 (minimal pipeline) and 4 (domain
+// pipeline plus per-bus drive fan-out), compared against the
+// sequential reference (1). GOMAXPROCS is appended when it exceeds
+// the grid so a wide CI runner also tests its native width.
+func workersSweep() []int {
+	ws := []int{2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+// runSpecN is runSpec with a cycle-budget cap: the sweep crosses
+// enough dimensions that full example budgets would dominate the
+// suite's runtime without adding coverage.
+func runSpecN(t *testing.T, sp *coemu.Spec, cycles int64, mutate func(*coemu.Config)) ([]byte, *coemu.Report) {
+	t.Helper()
+	d, cfg, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rep, err := coemu.Run(d, cfg, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := marshalView(t, rep)
+	return b, rep
+}
+
+func capCycles(sp *coemu.Spec, cap int64) int64 {
+	if sp.Run.Cycles < cap {
+		return sp.Run.Cycles
+	}
+	return cap
+}
+
+// TestWorkersSweepBitIdentical is the acceptance sweep: every example
+// spec, crossed with cycle_batch {1, 64} and delta_cadence {1, 16},
+// must report byte-identically at every worker width.
+func TestWorkersSweepBitIdentical(t *testing.T) {
+	for name, sp := range exampleSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			cycles := capCycles(sp, 8000)
+			for _, batch := range []int{1, 64} {
+				for _, cadence := range []int{1, 16} {
+					host := func(w int) func(*coemu.Config) {
+						return func(c *coemu.Config) {
+							c.CycleBatch = batch
+							c.DeltaCadence = cadence
+							c.Workers = w
+						}
+					}
+					want, _ := runSpecN(t, sp, cycles, host(1))
+					for _, w := range workersSweep() {
+						got, _ := runSpecN(t, sp, cycles, host(w))
+						if string(got) != string(want) {
+							t.Errorf("workers=%d batch=%d cadence=%d: report differs from sequential:\npar: %s\nseq: %s",
+								w, batch, cadence, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersSweepUnderInjectedFaultStorm repeats the sweep under an
+// aggressive fault injector — the regime where the pipelined
+// follow-up detects mispredictions worker-side and every rollback
+// (delta-ring restore + roll-forth) runs against a freshly joined
+// worker lane. The reference run must roll back a lot, or the sweep
+// proves nothing.
+func TestWorkersSweepUnderInjectedFaultStorm(t *testing.T) {
+	for name, sp := range exampleSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			cycles := capCycles(sp, 8000)
+			storm := func(w int) func(*coemu.Config) {
+				return func(c *coemu.Config) {
+					c.Accuracy = 0.8
+					c.FaultSeed = 1234
+					c.Workers = w
+				}
+			}
+			want, wantRep := runSpecN(t, sp, cycles, storm(1))
+			if sp.Run.Mode != "conservative" && wantRep.Stats.Rollbacks == 0 {
+				t.Fatal("fault storm produced no rollbacks; the sweep would prove nothing")
+			}
+			for _, w := range workersSweep() {
+				got, gotRep := runSpecN(t, sp, cycles, storm(w))
+				if gotRep.Stats.Rollbacks != wantRep.Stats.Rollbacks {
+					t.Errorf("workers=%d: %d rollbacks, sequential has %d",
+						w, gotRep.Stats.Rollbacks, wantRep.Stats.Rollbacks)
+				}
+				if string(got) != string(want) {
+					t.Errorf("workers=%d: report differs from sequential under the fault storm", w)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersBitIdenticalIdleHeavy is the non-vacuousness guard for
+// the pipelined transition's interaction with the predicted-quiescence
+// fast path: the gapped stream transitions constantly and batches on
+// both the run-ahead and follow-up sides. The sequential reference
+// must show transitions and batched cycles, and every width must
+// reproduce its report.
+func TestWorkersBitIdenticalIdleHeavy(t *testing.T) {
+	const cycles = 20000
+	for _, mode := range []coemu.Mode{coemu.ALS, coemu.SLA, coemu.Auto} {
+		t.Run(mode.String(), func(t *testing.T) {
+			want, wantRep := runDesign(t, gappedStreamDesign(48),
+				coemu.Config{Mode: mode}, cycles)
+			if wantRep.Stats.BatchedCycles == 0 {
+				t.Fatal("idle-heavy reference never batched; the differential is vacuous")
+			}
+			// SLA on this design declines every transition (the stream
+			// lives in the accelerator domain), which is itself a path
+			// worth pinning; the other modes must really pipeline.
+			wantTransitions := wantRep.Stats.Transitions > 0
+			for _, w := range workersSweep() {
+				got, rep := runDesign(t, gappedStreamDesign(48),
+					coemu.Config{Mode: mode, Workers: w}, cycles)
+				if wantTransitions && rep.Stats.Transitions == 0 {
+					t.Errorf("workers=%d: no transitions; the pipeline never ran", w)
+				}
+				if string(got) != string(want) {
+					t.Errorf("workers=%d report differs from sequential on the idle-heavy design", w)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersConservativeMode pins the domain-parallel conservative
+// cycle (no transitions at all — pure lockstep) across widths.
+func TestWorkersConservativeMode(t *testing.T) {
+	sp := exampleSpecs(t)["multimaster"]
+	cycles := capCycles(sp, 8000)
+	want, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) { c.Mode = coemu.Conservative })
+	for _, w := range workersSweep() {
+		got, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) {
+			c.Mode = coemu.Conservative
+			c.Workers = w
+		})
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: conservative report differs from sequential", w)
+		}
+	}
+}
+
+// TestWorkersFallbackPathsBitIdentical pins the configurations where
+// the transition pipeline gates itself off (wire codec, attached
+// tracer, paper-strict transitions) but conservative cycles and bus
+// evaluation still parallelize: reports must stay bit-identical, and
+// with tracing attached the event streams must match event for event.
+func TestWorkersFallbackPathsBitIdentical(t *testing.T) {
+	sp := exampleSpecs(t)["multimaster"]
+	cycles := capCycles(sp, 8000)
+
+	t.Run("wire-codec", func(t *testing.T) {
+		want, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) { c.WirePackets = true })
+		for _, w := range workersSweep() {
+			got, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) {
+				c.WirePackets = true
+				c.Workers = w
+			})
+			if string(got) != string(want) {
+				t.Errorf("workers=%d: wire-codec report differs from sequential", w)
+			}
+		}
+	})
+
+	t.Run("paper-strict", func(t *testing.T) {
+		want, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) { c.PaperStrictTransitions = true })
+		for _, w := range workersSweep() {
+			got, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) {
+				c.PaperStrictTransitions = true
+				c.Workers = w
+			})
+			if string(got) != string(want) {
+				t.Errorf("workers=%d: paper-strict report differs from sequential", w)
+			}
+		}
+	})
+
+	t.Run("tracer", func(t *testing.T) {
+		runTraced := func(w int) ([]byte, []trace.Event) {
+			rec := trace.NewRecorder(1 << 16)
+			b, _ := runSpecN(t, sp, cycles, func(c *coemu.Config) {
+				c.Tracer = rec
+				c.Workers = w
+			})
+			return b, rec.Events()
+		}
+		want, wantEv := runTraced(1)
+		for _, w := range workersSweep() {
+			got, gotEv := runTraced(w)
+			if string(got) != string(want) {
+				t.Errorf("workers=%d: traced report differs from sequential", w)
+			}
+			if len(gotEv) != len(wantEv) {
+				t.Errorf("workers=%d: %d trace events, sequential has %d", w, len(gotEv), len(wantEv))
+				continue
+			}
+			for i := range wantEv {
+				if gotEv[i] != wantEv[i] {
+					t.Errorf("workers=%d: trace event %d differs: %+v vs %+v", w, i, gotEv[i], wantEv[i])
+					break
+				}
+			}
+		}
+	})
+}
+
+// TestWorkersKeepTraceEquivalence requires the committed MSABS stream
+// — not just the counters — to be cycle-identical under the pipeline,
+// with the protocol checker live on the worker goroutine.
+func TestWorkersKeepTraceEquivalence(t *testing.T) {
+	sp := exampleSpecs(t)["multimaster"]
+	cycles := capCycles(sp, 5000)
+	run := func(w int) *coemu.Report {
+		d, cfg, err := sp.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.KeepTrace = true
+		cfg.CheckProtocol = true
+		cfg.Workers = w
+		rep, err := coemu.Run(d, cfg, cycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := run(1)
+	for _, w := range workersSweep() {
+		got := run(w)
+		if len(got.Trace) != len(want.Trace) {
+			t.Errorf("workers=%d: trace lengths differ: %d vs %d", w, len(got.Trace), len(want.Trace))
+			continue
+		}
+		for i := range want.Trace {
+			if !got.Trace[i].Equal(want.Trace[i]) {
+				t.Errorf("workers=%d: committed trace diverged at cycle %d", w, i)
+				break
+			}
+		}
+	}
+}
+
+// marshalView serializes a report through the service's deterministic
+// JSON view (the same projection every differential suite compares).
+func marshalView(t *testing.T, rep *coemu.Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(service.NewReportView(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
