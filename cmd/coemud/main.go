@@ -39,9 +39,19 @@
 //	                            one NDJSON result line per point in
 //	                            point order plus a final aggregate line.
 //	GET    /v1/stats            worker/cache/store/sweep counters.
+//	GET    /v1/results/{hash}   a completed run's canonical report bytes
+//	                            by canonical spec hash — cache/store
+//	                            only, never schedules work; 404 when
+//	                            unknown. HEAD probes presence. Fleet
+//	                            sweep clients use it to splice
+//	                            store-held points instead of re-running
+//	                            them.
 //	GET    /v1/healthz          readiness: {ok, queue, queue_capacity,
-//	                            saturated}. ok goes false (HTTP 503)
-//	                            while the worker queue is saturated.
+//	                            saturated, store?}. ok goes false (HTTP
+//	                            503) while the worker queue is
+//	                            saturated; store carries entry/byte/
+//	                            quarantine occupancy so fleet probers
+//	                            can prefer lightly-loaded shards.
 //	GET    /healthz             liveness.
 //
 // Overload is shed rather than queued without bound: when the worker
@@ -86,6 +96,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -108,6 +119,7 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory (empty disables)")
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "persistent store entry bound (negative = unbounded)")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0, "persistent store disk-byte bound (0 = unbounded)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "persistent store entry age bound; entries unused longer are deleted (0 = unbounded)")
 	faultPlanPath := flag.String("fault-plan", "", "seeded fault-injection plan JSON (see internal/faultplan); injection off when empty")
 	metricsOn := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof profiles at /debug/pprof/")
@@ -144,7 +156,7 @@ func main() {
 		opts.Metrics = service.NewMetrics(reg)
 	}
 	if *storeDir != "" {
-		storeOpts := store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes}
+		storeOpts := store.Options{MaxEntries: *storeMax, MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge}
 		if plan != nil {
 			storeOpts.Faults, storeOpts.FaultSeed = plan.Store, plan.Seed
 		}
@@ -256,12 +268,46 @@ func newMux(svc *service.Service, maxBody int64, sweepMax int) *http.ServeMux {
 			w.Header().Set("Retry-After", retryAfter)
 			status = http.StatusServiceUnavailable
 		}
-		writeJSON(w, status, map[string]any{
+		body := map[string]any{
 			"ok":             !saturated,
 			"queue":          pending,
 			"queue_capacity": capacity,
 			"saturated":      saturated,
-		})
+		}
+		// Store occupancy rides along (absent without -store) so fleet
+		// probers can prefer lightly-loaded shards; the bare-200 contract
+		// for old clients is untouched — they simply ignore the field.
+		if st, ok := svc.StoreStats(); ok {
+			body["store"] = map[string]any{
+				"entries":     st.Entries,
+				"bytes":       st.Bytes,
+				"quarantined": st.Quarantined,
+			}
+		}
+		writeJSON(w, status, body)
+	})
+
+	// The fleet's incremental-resubmission probe: canonical report bytes
+	// by canonical spec hash, from the completed-result layers only
+	// (memory cache, then store) — never schedules an engine run. The
+	// body is the exact canonical compact JSON, so a fleet client can
+	// splice it verbatim into a sweep line and preserve bit-identity.
+	// The GET pattern also serves HEAD (presence probe, no body).
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := svc.Lookup(r.PathValue("hash"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errNoResult)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(res.JSON)))
+		w.WriteHeader(http.StatusOK)
+		if r.Method == http.MethodHead {
+			return
+		}
+		if _, err := w.Write(res.JSON); err != nil {
+			log.Printf("write response: %v", err)
+		}
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -477,6 +523,9 @@ func readSpec(w http.ResponseWriter, r *http.Request, maxBody int64) (*spec.Spec
 // load-shedding 503: long enough for a queue slot to free, short
 // enough that failover clients reprobe promptly.
 const retryAfter = "1"
+
+// errNoResult is the 404 body for /v1/results/{hash} misses.
+var errNoResult = errors.New("no completed result for that hash")
 
 // writeSubmitError maps Submit failures to HTTP statuses. Queue-full
 // rejections carry a Retry-After hint so well-behaved clients back off

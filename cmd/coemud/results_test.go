@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"coemu/internal/service"
+	"coemu/internal/spec"
+	"coemu/internal/store"
+)
+
+func TestResultsEndpoint(t *testing.T) {
+	disk, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServerOpts(t, service.Options{Workers: 2, Store: disk})
+
+	sp, err := spec.Parse([]byte(specJSON(2000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := sp.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the run: a lookup is a 404, never a scheduled job.
+	if code, _ := get(t, ts.URL+"/v1/results/"+hash); code != http.StatusNotFound {
+		t.Fatalf("lookup before any run: status %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/results/not-a-hash"); code != http.StatusNotFound {
+		t.Fatalf("bogus hash: status %d, want 404", code)
+	}
+
+	if code, body := post(t, ts.URL+"/v1/run", specJSON(2000)); code != http.StatusOK {
+		t.Fatalf("run failed: %d: %s", code, body)
+	}
+	want, ok := disk.Get(hash)
+	if !ok {
+		t.Fatal("completed run not written through to the store")
+	}
+
+	// GET serves the exact canonical compact bytes — the contract that
+	// lets a fleet client splice them into a sweep line verbatim.
+	code, body := get(t, ts.URL+"/v1/results/"+hash)
+	if code != http.StatusOK {
+		t.Fatalf("lookup after run: status %d", code)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("lookup bytes differ from the stored canonical report:\n%s\n%s", body, want)
+	}
+
+	// HEAD probes presence: same status and length, no body.
+	resp, err := http.Head(ts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status %d", resp.StatusCode)
+	}
+	if got := resp.ContentLength; got != int64(len(want)) {
+		t.Fatalf("HEAD Content-Length %d, want %d", got, len(want))
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) != 0 {
+		t.Fatalf("HEAD returned a %d-byte body", len(b))
+	}
+
+	// The endpoint must not have queued any engine work of its own.
+	var c service.Counters
+	if _, body := get(t, ts.URL+"/v1/stats"); json.Unmarshal(body, &c) != nil {
+		t.Fatal("bad stats body")
+	}
+	if c.EngineRuns != 1 {
+		t.Fatalf("engine runs = %d after one run plus lookups, want 1", c.EngineRuns)
+	}
+}
+
+func TestHealthzReportsStoreAndQueue(t *testing.T) {
+	disk, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServerOpts(t, service.Options{Workers: 2, Store: disk})
+	if code, body := post(t, ts.URL+"/v1/run", specJSON(1500)); code != http.StatusOK {
+		t.Fatalf("run failed: %d: %s", code, body)
+	}
+
+	code, body := get(t, ts.URL+"/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var h struct {
+		OK            bool `json:"ok"`
+		Queue         int  `json:"queue"`
+		QueueCapacity int  `json:"queue_capacity"`
+		Saturated     bool `json:"saturated"`
+		Store         *struct {
+			Entries     int   `json:"entries"`
+			Bytes       int64 `json:"bytes"`
+			Quarantined int64 `json:"quarantined"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz body: %v: %s", err, body)
+	}
+	if !h.OK || h.Saturated {
+		t.Fatalf("healthz %+v on an idle daemon", h)
+	}
+	if h.QueueCapacity <= 0 {
+		t.Fatal("healthz lost the queue-depth contract")
+	}
+	if h.Store == nil {
+		t.Fatalf("healthz has no store block: %s", body)
+	}
+	if h.Store.Entries != 1 || h.Store.Bytes <= 0 || h.Store.Quarantined != 0 {
+		t.Fatalf("healthz store block %+v, want 1 entry with bytes", h.Store)
+	}
+}
+
+func TestHealthzOmitsStoreWithoutOne(t *testing.T) {
+	ts := newTestServer(t)
+	_, body := get(t, ts.URL+"/v1/healthz")
+	if strings.Contains(string(body), `"store"`) {
+		t.Fatalf("store-less daemon advertises store stats: %s", body)
+	}
+}

@@ -20,14 +20,23 @@
 //
 // With -remote http://host:8080[,http://host2:8080], runs are not
 // executed in this process: grid mode expands the document locally and
-// submits the points to the daemons' /v1/sweep, and the DES CSV sweeps
-// (which then require -spec) submit their points as a spec batch —
-// sharing the daemons' worker pools, result caches and persistent
-// store with every other client. Remote submission is resilient:
-// transient failures retry with exponential backoff (-retries bounds
-// the budget), a comma-separated -remote list fails over between
-// daemons, and a sweep cut mid-stream resumes by re-submitting only
-// the missing points (see internal/sweepclient).
+// shards the points across the daemon fleet by consistent hash (one
+// URL degenerates to plain failover submission), and the DES CSV
+// sweeps (which then require -spec) submit their points as a spec
+// batch — sharing the daemons' worker pools, result caches and
+// persistent store with every other client. Remote submission is
+// resilient: transient failures retry with exponential backoff
+// (-retries bounds the budget), a health prober evicts dead daemons
+// and rebalances only their unfinished points onto survivors, and
+// points whose results already sit in the daemons' shared store are
+// spliced via /v1/results/{hash} instead of re-run (see
+// internal/sweepclient).
+//
+// With -resume journal.ndjson (grid+remote mode), completed point
+// hashes are journaled durably as the sweep streams; re-running the
+// same invocation after a crash restores the journaled points from the
+// daemons' store and submits only the remainder, so an interrupted
+// sweep restarts exactly where it stopped.
 package main
 
 import (
@@ -67,8 +76,9 @@ func main() {
 	cycles := flag.Int64("cycles", 20000, "target cycles per DES run")
 	specPath := flag.String("spec", "", "sweep a declarative JSON spec's design instead of the built-in stream design")
 	gridPath := flag.String("grid", "", "expand and run a declarative sweep document, streaming NDJSON results to stdout")
-	remote := flag.String("remote", "", "comma-separated coemud base URLs; drive the daemons' /v1/sweep with failover instead of in-process runs")
+	remote := flag.String("remote", "", "comma-separated coemud base URLs; shard the sweep across the daemon fleet instead of in-process runs")
 	retries := flag.Int("retries", sweepclient.DefaultRetries, "remote mode: how many transient failures (daemon down, 5xx, cut stream) to ride out")
+	resume := flag.String("resume", "", "remote grid mode: crash-safe resume journal path; journals completed point hashes and skips them on re-run")
 	flag.IntVar(&jobs, "j", runtime.NumCPU(), "parallel DES engine runs (local mode)")
 	flag.Parse()
 	if jobs < 1 {
@@ -77,10 +87,13 @@ func main() {
 	remotes := splitRemotes(*remote)
 
 	if *gridPath != "" {
-		if err := runGrid(*gridPath, remotes, *retries, os.Stdout); err != nil {
+		if err := runGrid(*gridPath, remotes, *retries, *resume, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *resume != "" {
+		fatal(fmt.Errorf("-resume applies to remote grid sweeps (-grid with -remote)"))
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -118,8 +131,9 @@ func main() {
 }
 
 // runGrid executes a sweep document and streams the NDJSON results —
-// locally on the worker pool, or through coemud daemons with -remote.
-func runGrid(path string, remotes []string, retries int, w io.Writer) error {
+// locally on the worker pool, or sharded across a coemud fleet with
+// -remote.
+func runGrid(path string, remotes []string, retries int, resume string, w io.Writer) error {
 	if len(remotes) > 0 {
 		// Expand locally so a bad document fails with a spec error
 		// rather than an HTTP one, and so retry rounds can re-submit
@@ -132,15 +146,34 @@ func runGrid(path string, remotes []string, retries int, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		client, err := newRemoteClient(remotes, retries)
+		opts := sweepclient.FleetOptions{
+			URLs:    remotes,
+			Retries: retries,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		if resume != "" {
+			journal, jerr := sweepclient.OpenJournal(resume)
+			if jerr != nil {
+				return jerr
+			}
+			defer journal.Close()
+			opts.Journal = journal
+		}
+		fleet, err := sweepclient.NewFleet(opts)
 		if err != nil {
 			return err
 		}
-		lines, rawAgg, err := client.RunPoints(context.Background(), points)
+		defer fleet.Close()
+		lines, rawAgg, err := fleet.RunPoints(context.Background(), points)
 		if err != nil {
 			return err
 		}
 		return sweepclient.WriteNDJSON(w, lines, rawAgg)
+	}
+	if resume != "" {
+		return fmt.Errorf("-resume needs -remote: local grid runs have no fleet store to restore from")
 	}
 
 	ss, err := spec.LoadSweep(path)

@@ -501,6 +501,52 @@ func (s *Service) CacheStats() (hits, misses int64, size int) {
 	return s.cache.Stats()
 }
 
+// Lookup resolves a canonical spec hash against the completed-result
+// layers only — the in-memory cache, then the persistent store — and
+// never schedules work: a miss simply reports false. It backs the
+// daemon's lightweight GET /v1/results/{hash} endpoint, which fleet
+// clients probe before re-submitting a point so a store-held result is
+// spliced into the sweep instead of re-queued. A store hit is promoted
+// into the memory cache, mirroring Submit.
+func (s *Service) Lookup(hash string) (*Result, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if res, ok := s.cache.Get(hash); ok {
+		s.mu.Unlock()
+		return res, true
+	}
+	disk := s.disk
+	s.mu.Unlock()
+	if disk == nil {
+		return nil, false
+	}
+	rstart := time.Now()
+	data, ok := disk.Get(hash)
+	s.opts.Metrics.observeStoreRead(time.Since(rstart))
+	if !ok {
+		return nil, false
+	}
+	res := &Result{JSON: data}
+	s.mu.Lock()
+	if !s.closed {
+		s.cache.Put(hash, res)
+	}
+	s.mu.Unlock()
+	return res, true
+}
+
+// StoreStats snapshots the persistent store's counters; ok is false
+// when the service runs without a store.
+func (s *Service) StoreStats() (store.Stats, bool) {
+	if s.disk == nil {
+		return store.Stats{}, false
+	}
+	return s.disk.Stats(), true
+}
+
 // Counters is the service-wide counter snapshot served by /v1/stats:
 // memory-cache and persistent-store traffic, real engine executions,
 // and sweep volume.

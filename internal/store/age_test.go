@@ -1,0 +1,205 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// backdate pushes a file's mtime (the persisted recency) into the past.
+func backdate(t *testing.T, path string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxAgeEvictsOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, 0)
+	fresh, old1, old2 := key("fresh"), key("old1"), key("old2")
+	for _, k := range []string{fresh, old1, old2} {
+		if err := s.Put(k, []byte("payload-"+k[:4])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backdate(t, s.path(old1), 2*time.Hour)
+	backdate(t, s.path(old2), 3*time.Hour)
+
+	s2, err := Open(dir, Options{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store kept %d entries, want only the fresh one", s2.Len())
+	}
+	if _, ok := s2.Get(fresh); !ok {
+		t.Fatal("fresh entry lost to the age bound")
+	}
+	if _, ok := s2.Get(old1); ok {
+		t.Fatal("expired entry served")
+	}
+	if _, err := os.Stat(s2.path(old2)); !os.IsNotExist(err) {
+		t.Fatal("expired entry file not deleted")
+	}
+	if st := s2.Stats(); st.AgeEvictions != 2 {
+		t.Fatalf("AgeEvictions = %d, want 2", st.AgeEvictions)
+	}
+}
+
+func TestMaxAgeEvictsLiveEntryOnGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxAge: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("short-lived")
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); !ok {
+		t.Fatal("entry missing immediately after Put")
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Still asked for, but past the age bound: deleted, not served.
+	if _, ok := s.Get(k); ok {
+		t.Fatal("expired entry served")
+	}
+	if _, err := os.Stat(s.path(k)); !os.IsNotExist(err) {
+		t.Fatal("expired entry file not deleted")
+	}
+	st := s.Stats()
+	if st.AgeEvictions != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v, want 1 age eviction and 0 entries", st)
+	}
+}
+
+func TestMaxAgeRejectsStaleSiblingEntry(t *testing.T) {
+	// An aged store must not adopt a sibling-written entry whose mtime
+	// is already past the bound: the disk-probe path enforces age too.
+	dir := t.TempDir()
+	aged, err := Open(dir, Options{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling := open(t, dir, 0)
+	k := key("stale-sibling")
+	if err := sibling.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, sibling.path(k), 2*time.Hour)
+
+	if _, ok := aged.Get(k); ok {
+		t.Fatal("stale sibling entry served through the aged store")
+	}
+	if st := aged.Stats(); st.AgeEvictions != 1 {
+		t.Fatalf("AgeEvictions = %d, want 1", st.AgeEvictions)
+	}
+}
+
+// plantQuarantine drops a fake quarantined file of the given size and
+// age into a store directory.
+func plantQuarantine(t *testing.T, dir, label string, size int, age time.Duration) string {
+	t.Helper()
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(qdir, key(label)+".json")
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, path, age)
+	return path
+}
+
+func TestQuarantineSweptByAgeOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := plantQuarantine(t, dir, "old-evidence", 64, 2*time.Hour)
+	freshPath := plantQuarantine(t, dir, "fresh-evidence", 64, time.Minute)
+
+	s, err := Open(dir, Options{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldPath); !os.IsNotExist(err) {
+		t.Fatal("expired quarantine file survived Open")
+	}
+	if _, err := os.Stat(freshPath); err != nil {
+		t.Fatal("fresh quarantine file swept")
+	}
+	if st := s.Stats(); st.QuarantineSwept != 1 {
+		t.Fatalf("QuarantineSwept = %d, want 1", st.QuarantineSwept)
+	}
+}
+
+func TestQuarantineSweptByBytes(t *testing.T) {
+	// Repeated corruption faults pile files into quarantine/; the byte
+	// budget must hold there too, oldest evidence discarded first.
+	dir := t.TempDir()
+	oldest := plantQuarantine(t, dir, "q-oldest", 400, 3*time.Hour)
+	middle := plantQuarantine(t, dir, "q-middle", 400, 2*time.Hour)
+	newest := plantQuarantine(t, dir, "q-newest", 400, time.Minute)
+
+	s, err := Open(dir, Options{MaxBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(oldest); !os.IsNotExist(err) {
+		t.Fatal("oldest quarantine file kept though the total was over budget")
+	}
+	if _, err := os.Stat(middle); err != nil {
+		t.Fatal("quarantine sweep removed more than needed")
+	}
+	if _, err := os.Stat(newest); err != nil {
+		t.Fatal("newest quarantine file swept")
+	}
+	if st := s.Stats(); st.QuarantineSwept != 1 {
+		t.Fatalf("QuarantineSwept = %d, want 1", st.QuarantineSwept)
+	}
+}
+
+func TestQuarantineSweepRunsOnCorruption(t *testing.T) {
+	dir := t.TempDir()
+	// Old oversized evidence already sits in quarantine; the next
+	// corruption event must trigger a sweep that clears it.
+	oldPath := plantQuarantine(t, dir, "stale-evidence", 2000, 2*time.Hour)
+
+	s, err := Open(dir, Options{MaxBytes: 1 << 20, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Opening already sweeps; re-plant to test the corruption path.
+	if _, statErr := os.Stat(oldPath); !os.IsNotExist(statErr) {
+		t.Fatal("Open did not sweep the stale quarantine file")
+	}
+	oldPath = plantQuarantine(t, dir, "stale-evidence-2", 2000, 2*time.Hour)
+
+	k := key("to-corrupt")
+	if err := s.Put(k, []byte(`{"report":"x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(s.path(k), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, statErr := os.Stat(oldPath); !os.IsNotExist(statErr) {
+		t.Fatal("quarantining new evidence did not sweep the stale file")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.QuarantineSwept != 2 {
+		t.Fatalf("stats %+v, want 1 quarantined and 2 swept", st)
+	}
+	// The fresh evidence itself survives (within both budgets).
+	if _, statErr := os.Stat(filepath.Join(dir, quarantineDir, k+".json")); statErr != nil {
+		t.Fatal("fresh quarantine evidence swept")
+	}
+}

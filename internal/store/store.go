@@ -20,9 +20,14 @@
 // and reported as a miss, never served. Orphaned temp files older than
 // a grace period are swept on Open.
 //
-// The store is LRU-bounded by entry count. Recency survives restarts
-// through file modification times: Get touches the entry's mtime, Open
-// rebuilds the recency order from the directory scan.
+// The store is LRU-bounded by entry count and bytes, and optionally by
+// age: entries unused for longer than Options.MaxAge are deleted
+// instead of served, so a long-lived fleet's shared store does not
+// grow without bound. Recency survives restarts through file
+// modification times: Get touches the entry's mtime, Open rebuilds the
+// recency order from the directory scan. The quarantine directory is
+// swept under the same byte/age budgets so repeated corruption faults
+// cannot fill the disk.
 package store
 
 import (
@@ -79,6 +84,10 @@ type Options struct {
 	// Sizes count payload bytes (the content-hash trailer is
 	// excluded), not filesystem block or inode overhead.
 	MaxBytes int64
+	// MaxAge bounds how long an entry may sit unused: entries whose
+	// recency timestamp (file mtime; refreshed by every Get) is older
+	// are deleted instead of served. 0 or negative means no age bound.
+	MaxAge time.Duration
 	// Faults, when non-nil, injects write faults (failed and torn
 	// writes) per its probabilities, driven by FaultSeed. Chaos
 	// testing only; nil injects nothing.
@@ -89,18 +98,22 @@ type Options struct {
 
 // Stats is a point-in-time snapshot of the store's counters. Hits and
 // misses count Get outcomes, Puts successful writes, Evictions entries
-// removed by the LRU bounds (entry count or total bytes), Quarantined
-// entries moved aside after failing content verification, TmpSwept
-// orphaned temp files deleted on Open.
+// removed by the LRU bounds (entry count or total bytes),
+// AgeEvictions entries removed past Options.MaxAge, Quarantined
+// entries moved aside after failing content verification,
+// QuarantineSwept quarantined files deleted by the byte/age sweep,
+// TmpSwept orphaned temp files deleted on Open.
 type Stats struct {
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Puts        int64 `json:"puts"`
-	Evictions   int64 `json:"evictions"`
-	Quarantined int64 `json:"quarantined"`
-	TmpSwept    int64 `json:"tmp_swept"`
-	Entries     int   `json:"entries"`
-	Bytes       int64 `json:"bytes"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Puts            int64 `json:"puts"`
+	Evictions       int64 `json:"evictions"`
+	AgeEvictions    int64 `json:"age_evictions"`
+	Quarantined     int64 `json:"quarantined"`
+	QuarantineSwept int64 `json:"quarantine_swept"`
+	TmpSwept        int64 `json:"tmp_swept"`
+	Entries         int   `json:"entries"`
+	Bytes           int64 `json:"bytes"`
 }
 
 // Store is a content-addressed on-disk result store. All methods are
@@ -109,6 +122,7 @@ type Store struct {
 	dir      string
 	max      int
 	maxBytes int64
+	maxAge   time.Duration
 	faults   *faultplan.StoreFault
 
 	mu    sync.Mutex
@@ -147,7 +161,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, max: max, maxBytes: opts.MaxBytes, byKey: make(map[string]*entry)}
+	s := &Store{dir: dir, max: max, maxBytes: opts.MaxBytes, maxAge: opts.MaxAge, byKey: make(map[string]*entry)}
 	if opts.Faults != nil {
 		s.faults = opts.Faults
 		s.frng = rng.New(faultplan.Mix(opts.FaultSeed, 0x5704e))
@@ -199,6 +213,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.mu.Lock()
 	s.evictLocked()
 	s.stats.Evictions = 0 // adoption trimming is not an eviction
+	s.sweepQuarantineLocked()
 	s.mu.Unlock()
 	return s, nil
 }
@@ -218,6 +233,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, indexed := s.byKey[key]
+	if indexed && s.expired(time.Now(), e.used) {
+		// Past the age bound: delete instead of serve — the age GC must
+		// hold even for keys that are still asked for.
+		s.dropLocked(e)
+		_ = os.Remove(s.path(key))
+		s.stats.AgeEvictions++
+		s.stats.Misses++
+		return nil, false
+	}
 	raw, err := os.ReadFile(s.path(key))
 	if err != nil {
 		// The file is gone (pruned externally, or never existed): drop
@@ -240,6 +264,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	if !indexed {
+		if s.maxAge > 0 {
+			// A sibling-written entry carries its recency in its mtime;
+			// respect the age bound before adopting it.
+			if info, serr := os.Stat(s.path(key)); serr == nil && s.expired(time.Now(), info.ModTime()) {
+				_ = os.Remove(s.path(key))
+				s.stats.AgeEvictions++
+				s.stats.Misses++
+				return nil, false
+			}
+		}
 		if s.maxBytes > 0 && int64(len(data)) > s.maxBytes {
 			// A sibling (with a different budget) wrote a payload larger
 			// than this store's whole byte bound: serve it but do not
@@ -362,10 +396,12 @@ func (s *Store) Len() int {
 	return len(s.byKey)
 }
 
-// Stats snapshots the store's counters.
+// Stats snapshots the store's counters. Age-expired entries are
+// collected first so the snapshot reflects the bound.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked(time.Now())
 	st := s.stats
 	st.Entries = len(s.byKey)
 	st.Bytes = s.bytes
@@ -388,6 +424,76 @@ func (s *Store) quarantineLocked(key string) {
 		_ = os.Remove(s.path(key))
 	}
 	s.stats.Quarantined++
+	s.sweepQuarantineLocked()
+}
+
+// sweepQuarantineLocked bounds the quarantine directory by the same
+// age and byte budgets as live entries, oldest files first, so
+// repeated corruption faults cannot fill the disk. Quarantined files
+// are dead evidence, not served data, so they get their own copy of
+// the byte budget (sizes here are raw file sizes, trailer included)
+// rather than competing with live entries for it.
+func (s *Store) sweepQuarantineLocked() {
+	if s.maxAge <= 0 && s.maxBytes <= 0 {
+		return
+	}
+	qdir := filepath.Join(s.dir, quarantineDir)
+	dirents, err := os.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	files := make([]qfile, 0, len(dirents))
+	var total int64
+	now := time.Now()
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		info, ierr := de.Info()
+		if ierr != nil {
+			continue
+		}
+		files = append(files, qfile{filepath.Join(qdir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for _, qf := range files {
+		expired := s.maxAge > 0 && now.Sub(qf.mod) > s.maxAge
+		over := s.maxBytes > 0 && total > s.maxBytes
+		if !expired && !over {
+			// Sorted oldest first: everything after is newer still, and
+			// the total already fits.
+			break
+		}
+		if os.Remove(qf.path) == nil {
+			total -= qf.size
+			s.stats.QuarantineSwept++
+		}
+	}
+}
+
+// expired reports whether a recency timestamp is past the age bound.
+func (s *Store) expired(now, used time.Time) bool {
+	return s.maxAge > 0 && now.Sub(used) > s.maxAge
+}
+
+// expireLocked deletes entries unused for longer than MaxAge, oldest
+// first (the order slice is recency-sorted, so the scan stops at the
+// first survivor).
+func (s *Store) expireLocked(now time.Time) {
+	for len(s.order) > 0 && s.expired(now, s.order[0].used) {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.byKey, victim.key)
+		s.bytes -= victim.size
+		_ = os.Remove(s.path(victim.key))
+		s.stats.AgeEvictions++
+	}
 }
 
 // touchLocked moves e to the most-recently-used end and persists the
@@ -417,9 +523,11 @@ func (s *Store) dropLocked(e *entry) {
 	}
 }
 
-// evictLocked enforces the entry and byte bounds, deleting the least
-// recently used files until both fit.
+// evictLocked enforces the age, entry, and byte bounds, deleting
+// age-expired entries first and then the least recently used files
+// until both size bounds fit.
 func (s *Store) evictLocked() {
+	s.expireLocked(time.Now())
 	over := func() bool {
 		if s.max >= 0 && len(s.order) > s.max {
 			return true

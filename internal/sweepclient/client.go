@@ -180,14 +180,19 @@ func (c *Client) RunPoints(ctx context.Context, points []*spec.Spec) (lines []se
 		attempt++
 	}
 
+	return settleLines(points, got, lastErr), rawAgg, nil
+}
+
+// settleLines turns the per-point state of a finished run into the
+// final line slice: received lines verbatim, and for points the retry
+// budget abandoned, an error line shaped like a daemon-side failure.
+func settleLines(points []*spec.Spec, got []*service.SweepLine, lastErr map[int]string) []service.SweepLine {
 	out := make([]service.SweepLine, len(points))
 	for i := range points {
 		if got[i] != nil {
 			out[i] = *got[i]
 			continue
 		}
-		// Budget exhausted: settle the point with its last known error,
-		// shaped like a daemon-side failure line.
 		line := service.SweepLine{Index: i, Name: points[i].Name}
 		if h, herr := points[i].CanonicalHash(); herr == nil {
 			line.Hash = h
@@ -199,7 +204,7 @@ func (c *Client) RunPoints(ctx context.Context, points []*spec.Spec) (lines []se
 		}
 		out[i] = line
 	}
-	return out, rawAgg, nil
+	return out
 }
 
 // missingIndexes lists the points that still need a clean line.
@@ -331,29 +336,53 @@ func (c *Client) attempt(ctx context.Context, points []*spec.Spec, missing []int
 	return clean, aggLine, nil
 }
 
-// backoff computes the pre-retry delay: exponential from BaseBackoff,
-// capped at MaxBackoff, with jitter in [delay/2, delay) so simultaneous
-// clients desynchronize. A Retry-After hint raises the floor.
+// backoff computes the pre-retry delay; see backoffDelay.
 func (c *Client) backoff(attempt int, cause error) time.Duration {
-	delay := c.base << uint(attempt)
-	if delay > c.max || delay <= 0 {
-		delay = c.max
+	return backoffDelay(c.base, c.max, attempt, cause)
+}
+
+// backoffDelay computes a pre-retry delay: exponential from base,
+// capped at max, with jitter in [delay/2, delay) so simultaneous
+// clients desynchronize. A Retry-After hint raises the floor but is
+// itself capped at max — a misbehaving daemon advertising an hour
+// cannot stall the sweep past the configured ceiling.
+func backoffDelay(base, max time.Duration, attempt int, cause error) time.Duration {
+	delay := base << uint(attempt)
+	if delay > max || delay <= 0 {
+		delay = max
 	}
 	delay = delay/2 + rand.N(delay/2+1)
 	var ra *retryAfterError
-	if errors.As(cause, &ra) && ra.delay > delay {
-		delay = ra.delay
+	if errors.As(cause, &ra) {
+		hint := ra.delay
+		if hint > max {
+			hint = max
+		}
+		if hint > delay {
+			delay = hint
+		}
 	}
 	return delay
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After.
+// parseRetryAfter reads both RFC 7231 forms of Retry-After:
+// delta-seconds and HTTP-date (the latter converted to a delay against
+// the local clock; a date in the past means "now", i.e. no delay).
 func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
 	}
 	return 0
 }

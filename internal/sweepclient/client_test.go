@@ -240,8 +240,15 @@ func TestRetryAfterHonoredOn503(t *testing.T) {
 	}))
 	defer srv.Close()
 
+	// The hint must fit under MaxBackoff to be honored in full, so this
+	// client raises the ceiling above the 1s hint (newClient's 2ms
+	// ceiling would clamp it — that behavior has its own test below).
+	c, err := New(Options{URLs: []string{srv.URL}, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
 	start := time.Now()
-	lines, _, err := newClient(t, srv.URL).RunPoints(context.Background(), points)
+	lines, _, err := c.RunPoints(context.Background(), points)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +258,87 @@ func TestRetryAfterHonoredOn503(t *testing.T) {
 	// The 1s Retry-After must outrank the millisecond backoff.
 	if waited := time.Since(start); waited < time.Second {
 		t.Fatalf("retried after %v; Retry-After of 1s not honored", waited)
+	}
+}
+
+func TestRetryAfterCappedAtMaxBackoff(t *testing.T) {
+	points := testPoints(t, 1)
+	var round atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if round.Add(1) == 1 {
+			// A misbehaving daemon advertising an hour must not stall the
+			// sweep past the configured backoff ceiling.
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		serveLines(t, w, decodeBatch(t, r))
+	}))
+	defer srv.Close()
+
+	start := time.Now()
+	lines, _, err := newClient(t, srv.URL).RunPoints(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Error != "" {
+		t.Fatalf("line failed: %s", lines[0].Error)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("retried after %v; Retry-After of 1h not capped at the 2ms MaxBackoff", waited)
+	}
+}
+
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	points := testPoints(t, 1)
+	var round atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if round.Add(1) == 1 {
+			// RFC 7231's other Retry-After form: an absolute HTTP-date.
+			w.Header().Set("Retry-After", time.Now().Add(time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		serveLines(t, w, decodeBatch(t, r))
+	}))
+	defer srv.Close()
+
+	c, err := New(Options{URLs: []string{srv.URL}, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lines, _, err := c.RunPoints(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines[0].Error != "" {
+		t.Fatalf("line failed: %s", lines[0].Error)
+	}
+	// http.TimeFormat has second granularity, so the parsed delay is
+	// anywhere in (0s, 1s]; it must at least outrank the ms backoff.
+	if waited := time.Since(start); waited < 50*time.Millisecond {
+		t.Fatalf("retried after %v; HTTP-date Retry-After not honored", waited)
+	}
+}
+
+func TestParseRetryAfterForms(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Fatalf("delta-seconds: got %v, want 7s", d)
+	}
+	if d := parseRetryAfter("-3"); d != 0 {
+		t.Fatalf("negative delta: got %v, want 0", d)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 25*time.Second || d > 30*time.Second {
+		t.Fatalf("HTTP-date +30s: got %v, want ~30s", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("past HTTP-date: got %v, want 0", d)
+	}
+	if d := parseRetryAfter("not a date"); d != 0 {
+		t.Fatalf("garbage: got %v, want 0", d)
 	}
 }
 

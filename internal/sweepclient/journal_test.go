@@ -1,0 +1,121 @@
+package sweepclient
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// jhash builds a distinct valid journal hash.
+func jhash(i int) string { return fmt.Sprintf("%064x", 0xabc0+i) }
+
+func TestJournalRecordAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.ndjson")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Record(jhash(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate records are no-ops, on the Len and on the file.
+	if err := j.Record(jhash(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 5 {
+		t.Fatalf("reopened Len = %d, want 5", j2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if !j2.Has(jhash(i)) {
+			t.Fatalf("reopened journal lost %s", jhash(i))
+		}
+	}
+	if j2.Has(jhash(99)) {
+		t.Fatal("journal invented a completion")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 5 {
+		t.Fatalf("file has %d records, want 5 (duplicate appended?)", n)
+	}
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.ndjson")
+	intact := fmt.Sprintf("{\"hash\":%q}\n{\"hash\":%q}\n", jhash(1), jhash(2))
+	// A crash mid-append leaves a half-written record with no newline.
+	if err := os.WriteFile(path, []byte(intact+`{"hash":"dead`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d, want the 2 intact records", j.Len())
+	}
+	// The torn tail must be gone so the next append starts a clean line.
+	if err := j.Record(jhash(3)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := intact + fmt.Sprintf("{\"hash\":%q}\n", jhash(3))
+	if string(data) != want {
+		t.Fatalf("file after torn-tail recovery:\n%q\nwant:\n%q", data, want)
+	}
+}
+
+func TestJournalTruncatesGarbledFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.ndjson")
+	intact := fmt.Sprintf("{\"hash\":%q}\n", jhash(1))
+	// A crash can tear a record and still land the newline.
+	if err := os.WriteFile(path, []byte(intact+"{\"ha}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 1 || !j.Has(jhash(1)) {
+		t.Fatalf("Len = %d, want the 1 intact record", j.Len())
+	}
+}
+
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	// Malformed content before the final line cannot be crash debris;
+	// appending would destroy whatever this file is.
+	if err := os.WriteFile(path, []byte("dear diary\nnothing happened\n"+`{"hash":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("journal opened a file that is clearly not a journal")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "dear diary") {
+		t.Fatal("rejected file was modified")
+	}
+}
